@@ -1,0 +1,166 @@
+//! Airline Booking — the AWS Build On Serverless production-grade
+//! full-stack application (8 functions).
+//!
+//! Customers search flights, book, pay by credit card, and earn loyalty
+//! points. The app combines S3, SNS, Step Functions, API Gateway, DynamoDB
+//! tables, and an **external payment provider** whose latency dominates the
+//! payment path.
+
+use crate::AppFunction;
+use sizeless_platform::{ResourceProfile, ServiceCall, ServiceKind, Stage};
+
+/// The eight airline-booking functions.
+pub fn functions() -> Vec<AppFunction> {
+    vec![
+        AppFunction {
+            name: "IngestLoyalty",
+            profile: ResourceProfile::builder("IngestLoyalty")
+                .stage(
+                    Stage::cpu("parse-event", 9.0)
+                        .with_alloc_churn(4.0)
+                        .with_working_set(10.0),
+                )
+                .stage(Stage::service(
+                    "write-points",
+                    ServiceCall::new(ServiceKind::DynamoDb, 2, 6.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "CaptureCharge",
+            profile: ResourceProfile::builder("CaptureCharge")
+                .stage(Stage::cpu("validate", 6.0).with_working_set(8.0))
+                .stage(Stage::service(
+                    "capture",
+                    ServiceCall::new(ServiceKind::ExternalPayment, 1, 3.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "CreateCharge",
+            profile: ResourceProfile::builder("CreateCharge")
+                .stage(
+                    Stage::cpu("tokenize", 14.0)
+                        .with_working_set(30.0)
+                        .with_alloc_churn(8.0),
+                )
+                .stage(Stage::service(
+                    "create",
+                    ServiceCall::new(ServiceKind::ExternalPayment, 1, 4.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "CollectPayment",
+            profile: ResourceProfile::builder("CollectPayment")
+                .stage(Stage::service(
+                    "workflow-step",
+                    ServiceCall::new(ServiceKind::StepFunctions, 1, 2.0),
+                ))
+                .stage(Stage::cpu("orchestrate", 8.0).with_working_set(12.0))
+                .stage(Stage::service(
+                    "collect",
+                    ServiceCall::new(ServiceKind::ExternalPayment, 1, 3.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "ConfirmBooking",
+            profile: ResourceProfile::builder("ConfirmBooking")
+                .stage(Stage::cpu("finalize", 7.0).with_alloc_churn(3.0))
+                .stage(Stage::service(
+                    "update-booking",
+                    ServiceCall::new(ServiceKind::DynamoDb, 2, 8.0),
+                ))
+                .stage(Stage::service(
+                    "announce",
+                    ServiceCall::new(ServiceKind::Sns, 1, 1.5),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "GetLoyalty",
+            profile: ResourceProfile::builder("GetLoyalty")
+                .stage(
+                    Stage::cpu("aggregate-points", 5.0)
+                        .with_working_set(70.0)
+                        .with_alloc_churn(12.0),
+                )
+                .stage(Stage::service(
+                    "read-points",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 24.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "NotifyBooking",
+            profile: ResourceProfile::builder("NotifyBooking")
+                .stage(Stage::cpu("render-message", 8.0).with_working_set(6.0))
+                .stage(Stage::service(
+                    "publish",
+                    ServiceCall::new(ServiceKind::Sns, 1, 2.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "ReserveBooking",
+            profile: ResourceProfile::builder("ReserveBooking")
+                .stage(
+                    Stage::cpu("build-reservation", 12.0)
+                        .with_working_set(16.0)
+                        .with_alloc_churn(6.0),
+                )
+                .stage(Stage::service(
+                    "reserve",
+                    ServiceCall::new(ServiceKind::DynamoDb, 2, 10.0),
+                ))
+                .build(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::{MemorySize, Platform};
+
+    #[test]
+    fn has_eight_functions_with_paper_names() {
+        let fns = functions();
+        assert_eq!(fns.len(), 8);
+        let names: Vec<&str> = fns.iter().map(|f| f.name).collect();
+        for expect in [
+            "IngestLoyalty",
+            "CaptureCharge",
+            "CreateCharge",
+            "CollectPayment",
+            "ConfirmBooking",
+            "GetLoyalty",
+            "NotifyBooking",
+            "ReserveBooking",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn payment_functions_are_dominated_by_the_provider() {
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let capture = fns.iter().find(|f| f.name == "CaptureCharge").unwrap();
+        // At large sizes CPU vanishes; the ~240 ms payment latency stays.
+        let t = platform.expected_duration_ms(&capture.profile, MemorySize::MB_3008);
+        assert!(t > 150.0, "t={t}");
+    }
+
+    #[test]
+    fn notify_booking_is_light_and_cpu_sensitive() {
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let notify = fns.iter().find(|f| f.name == "NotifyBooking").unwrap();
+        let t128 = platform.expected_duration_ms(&notify.profile, MemorySize::MB_128);
+        let t1024 = platform.expected_duration_ms(&notify.profile, MemorySize::MB_1024);
+        assert!(t128 > 2.0 * t1024, "{t128} vs {t1024}");
+        assert!(t128 < 300.0);
+    }
+}

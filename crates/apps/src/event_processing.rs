@@ -1,0 +1,131 @@
+//! Event Processing — the IoT-inspired event-processing system of Yussupov
+//! et al. (7 functions).
+//!
+//! Sensor data is ingested through API Gateway and SNS/SQS, formatted by
+//! three small formatter functions, and persisted into **Aurora** — another
+//! service the training segments never used. These are the fastest
+//! functions of the evaluation, which is precisely why the paper's relative
+//! errors are largest here (tiny absolute times amplify relative error).
+
+use crate::AppFunction;
+use sizeless_platform::{ResourceProfile, ServiceCall, ServiceKind, Stage};
+
+/// The seven event-processing functions.
+pub fn functions() -> Vec<AppFunction> {
+    vec![
+        AppFunction {
+            name: "EventInserter",
+            profile: ResourceProfile::builder("EventInserter")
+                .stage(Stage::cpu("validate", 3.0))
+                .stage(Stage::service(
+                    "insert",
+                    ServiceCall::new(ServiceKind::Aurora, 1, 4.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "FormatForecast",
+            profile: ResourceProfile::builder("FormatForecast")
+                .stage(
+                    Stage::cpu("format", 4.5)
+                        .with_alloc_churn(2.0)
+                        .with_working_set(6.0),
+                )
+                .stage(Stage::service(
+                    "forward",
+                    ServiceCall::new(ServiceKind::Sqs, 1, 2.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "FormatState",
+            profile: ResourceProfile::builder("FormatState")
+                .stage(Stage::cpu("format", 3.6).with_alloc_churn(1.5))
+                .stage(Stage::service(
+                    "forward",
+                    ServiceCall::new(ServiceKind::Sqs, 1, 1.5),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "FormatTemp",
+            profile: ResourceProfile::builder("FormatTemp")
+                .stage(Stage::cpu("format", 3.1).with_alloc_churn(1.2))
+                .stage(Stage::service(
+                    "forward",
+                    ServiceCall::new(ServiceKind::Sqs, 1, 1.5),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "GetLatestEvents",
+            profile: ResourceProfile::builder("GetLatestEvents")
+                .stage(Stage::cpu("build-query", 2.0))
+                .stage(Stage::service(
+                    "query",
+                    ServiceCall::new(ServiceKind::Aurora, 2, 18.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "ListAllEvents",
+            profile: ResourceProfile::builder("ListAllEvents")
+                .stage(Stage::service(
+                    "scan",
+                    ServiceCall::new(ServiceKind::Aurora, 1, 180.0),
+                ))
+                .stage(
+                    Stage::cpu("serialize", 6.0)
+                        .with_working_set(42.0)
+                        .with_alloc_churn(10.0),
+                )
+                .build(),
+        },
+        AppFunction {
+            name: "IngestEvent",
+            profile: ResourceProfile::builder("IngestEvent")
+                .stage(Stage::cpu("parse", 5.0).with_working_set(8.0))
+                .stage(Stage::service(
+                    "fanout",
+                    ServiceCall::new(ServiceKind::Sns, 1, 2.0),
+                ))
+                .stage(Stage::service(
+                    "queue",
+                    ServiceCall::new(ServiceKind::Sqs, 1, 2.0),
+                ))
+                .build(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::{MemorySize, Platform};
+
+    #[test]
+    fn has_seven_functions() {
+        assert_eq!(functions().len(), 7);
+    }
+
+    #[test]
+    fn functions_are_fast_at_large_sizes() {
+        // "Compared to the other applications, the functions of this
+        // application exhibit very fast execution times."
+        let platform = Platform::aws_like();
+        for f in functions() {
+            let t = platform.expected_duration_ms(&f.profile, MemorySize::MB_2048);
+            assert!(t < 120.0, "{}: {t}", f.name);
+        }
+    }
+
+    #[test]
+    fn formatters_are_cpu_bound() {
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let fmt = fns.iter().find(|f| f.name == "FormatForecast").unwrap();
+        let t128 = platform.expected_duration_ms(&fmt.profile, MemorySize::MB_128);
+        let t512 = platform.expected_duration_ms(&fmt.profile, MemorySize::MB_512);
+        assert!(t128 > 2.0 * t512);
+    }
+}

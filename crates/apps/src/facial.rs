@@ -1,0 +1,114 @@
+//! Facial Recognition — the AWS Wild Rydes workshop application
+//! (5 functions; the no-op notification stub is removed, as in the paper).
+//!
+//! Users upload a profile picture; a workflow performs facial detection,
+//! matching, and indexing. The app makes heavy use of **Rekognition**, a
+//! service entirely absent from the synthetic training segments.
+
+use crate::AppFunction;
+use sizeless_platform::{ResourceProfile, ServiceCall, ServiceKind, Stage};
+
+/// The five facial-recognition functions.
+pub fn functions() -> Vec<AppFunction> {
+    vec![
+        AppFunction {
+            name: "FaceDetection",
+            profile: ResourceProfile::builder("FaceDetection")
+                .stage(Stage::service(
+                    "fetch-photo",
+                    ServiceCall::new(ServiceKind::S3, 1, 600.0),
+                ))
+                .stage(Stage::cpu("prepare", 6.0).with_working_set(20.0))
+                .stage(Stage::service(
+                    "detect-faces",
+                    ServiceCall::new(ServiceKind::Rekognition, 1, 40.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "FaceSearch",
+            profile: ResourceProfile::builder("FaceSearch")
+                .stage(Stage::cpu("build-query", 5.0).with_working_set(10.0))
+                .stage(Stage::service(
+                    "match-collection",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 12.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "IndexFace",
+            profile: ResourceProfile::builder("IndexFace")
+                .stage(Stage::service(
+                    "index",
+                    ServiceCall::new(ServiceKind::Rekognition, 1, 30.0),
+                ))
+                .stage(Stage::cpu("record", 4.0))
+                .stage(Stage::service(
+                    "persist-index",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 4.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "PersistMetadata",
+            profile: ResourceProfile::builder("PersistMetadata")
+                .stage(Stage::cpu("marshal", 2.5).with_alloc_churn(1.5))
+                .stage(Stage::service(
+                    "write-metadata",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 5.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "CreateThumbnail",
+            profile: ResourceProfile::builder("CreateThumbnail")
+                .stage(Stage::service(
+                    "fetch-original",
+                    ServiceCall::new(ServiceKind::S3, 1, 900.0),
+                ))
+                .stage(
+                    Stage::cpu_parallel("resize", 38.0, 2.6)
+                        .with_working_set(28.0)
+                        .with_alloc_churn(14.0),
+                )
+                .stage(Stage::service(
+                    "store-thumbnail",
+                    ServiceCall::new(ServiceKind::S3, 1, 120.0),
+                ))
+                .build(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::{MemorySize, Platform};
+
+    #[test]
+    fn has_five_functions() {
+        assert_eq!(functions().len(), 5);
+    }
+
+    #[test]
+    fn rekognition_functions_are_flat_across_memory() {
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let detect = fns.iter().find(|f| f.name == "FaceDetection").unwrap();
+        let t128 = platform.expected_duration_ms(&detect.profile, MemorySize::MB_128);
+        let t3008 = platform.expected_duration_ms(&detect.profile, MemorySize::MB_3008);
+        // The ~380 ms Rekognition call dominates both.
+        assert!(t3008 > 350.0);
+        assert!((t128 - t3008) / t128 < 0.4, "{t128} vs {t3008}");
+    }
+
+    #[test]
+    fn thumbnail_scales_past_one_vcpu() {
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let thumb = fns.iter().find(|f| f.name == "CreateThumbnail").unwrap();
+        let t2048 = platform.expected_duration_ms(&thumb.profile, MemorySize::MB_2048);
+        let t3008 = platform.expected_duration_ms(&thumb.profile, MemorySize::MB_3008);
+        assert!(t3008 < t2048, "parallel resize keeps scaling");
+    }
+}

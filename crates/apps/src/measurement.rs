@@ -1,0 +1,279 @@
+//! Case-study measurement campaigns.
+//!
+//! The paper measures every case-study function at all six memory sizes
+//! with **ten repetitions** to account for cloud performance variability.
+//! [`measure_app`] reproduces that: per (function, size) it runs the
+//! repetitions, averages the summaries, and pools all invocation samples
+//! into one [`MetricVector`] per size (the model input).
+
+use crate::{AppFunction, CaseStudyApp};
+use serde::{Deserialize, Serialize};
+use sizeless_platform::{MemorySize, Platform};
+use sizeless_telemetry::MetricVector;
+use sizeless_workload::{measure_parallel, ExperimentConfig};
+
+/// How to measure an application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementPlan {
+    /// Request rate per function, rps.
+    pub rps: f64,
+    /// Duration per repetition, ms.
+    pub duration_ms: f64,
+    /// Measurement repetitions (paper: 10).
+    pub repetitions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl MeasurementPlan {
+    /// The paper's plan for an application (its workload × 10 repetitions).
+    pub fn paper(app: CaseStudyApp) -> Self {
+        let (rps, duration_ms) = app.workload();
+        MeasurementPlan {
+            rps,
+            duration_ms,
+            repetitions: 10,
+            seed: 0,
+            threads: 8,
+        }
+    }
+
+    /// A scaled-down plan that keeps the app's workload *shape* but shrinks
+    /// duration and repetitions by `factor` (≥ 1).
+    pub fn scaled(app: CaseStudyApp, factor: f64) -> Self {
+        assert!(factor >= 1.0, "factor must be at least 1");
+        let paper = Self::paper(app);
+        MeasurementPlan {
+            duration_ms: (paper.duration_ms / factor).max(2_000.0),
+            repetitions: ((paper.repetitions as f64 / factor).ceil() as usize).max(2),
+            rps: paper.rps.min(40.0),
+            ..paper
+        }
+    }
+
+    /// A tiny plan for unit tests.
+    pub fn quick() -> Self {
+        MeasurementPlan {
+            rps: 12.0,
+            duration_ms: 3_000.0,
+            repetitions: 2,
+            seed: 0,
+            threads: 4,
+        }
+    }
+}
+
+/// Measurements of one function across all six sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionMeasurement {
+    /// Function name.
+    pub name: String,
+    /// Pooled metric vector per standard size.
+    pub metrics: Vec<MetricVector>,
+    /// Mean execution time per standard size (averaged over repetitions), ms.
+    pub mean_execution_ms: Vec<f64>,
+    /// Mean cost per invocation per standard size, USD.
+    pub mean_cost_usd: Vec<f64>,
+}
+
+impl FunctionMeasurement {
+    /// Pooled metric vector at a standard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a standard size.
+    pub fn metrics_at(&self, m: MemorySize) -> &MetricVector {
+        &self.metrics[m.standard_index().expect("standard size")]
+    }
+
+    /// Mean execution time at a standard size, ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a standard size.
+    pub fn execution_ms_at(&self, m: MemorySize) -> f64 {
+        self.mean_execution_ms[m.standard_index().expect("standard size")]
+    }
+
+    /// Mean cost per invocation at a standard size, USD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a standard size.
+    pub fn cost_usd_at(&self, m: MemorySize) -> f64 {
+        self.mean_cost_usd[m.standard_index().expect("standard size")]
+    }
+
+    /// The measured-optimal ("ground truth") times as a size→ms map.
+    pub fn times_map(&self) -> std::collections::BTreeMap<MemorySize, f64> {
+        MemorySize::STANDARD
+            .iter()
+            .map(|&m| (m, self.execution_ms_at(m)))
+            .collect()
+    }
+}
+
+/// Measurements of one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppMeasurement {
+    /// Which application.
+    pub app_name: String,
+    /// One entry per function.
+    pub functions: Vec<FunctionMeasurement>,
+}
+
+impl AppMeasurement {
+    /// Finds a function's measurement by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionMeasurement> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Measures every function of `app` at every standard size with the given
+/// plan.
+pub fn measure_app(platform: &Platform, app: CaseStudyApp, plan: &MeasurementPlan) -> AppMeasurement {
+    let functions = app.functions();
+    measure_functions(platform, app.name(), &functions, plan)
+}
+
+/// Measures an explicit list of functions (used by tests and ablations).
+pub fn measure_functions(
+    platform: &Platform,
+    app_name: &str,
+    functions: &[AppFunction],
+    plan: &MeasurementPlan,
+) -> AppMeasurement {
+    // Jobs: function × size × repetition, flattened for the parallel pool.
+    let mut jobs = Vec::new();
+    for f in functions {
+        for &m in &MemorySize::STANDARD {
+            for _rep in 0..plan.repetitions {
+                jobs.push((&f.profile, m));
+            }
+        }
+    }
+    // Each repetition needs an independent stream: seed it by job index.
+    // measure_parallel seeds per (function, size) from the config seed, so
+    // we run one call per repetition offset instead.
+    let mut per_rep: Vec<Vec<sizeless_workload::Measurement>> =
+        Vec::with_capacity(plan.repetitions);
+    let base_jobs: Vec<(&sizeless_platform::ResourceProfile, MemorySize)> = functions
+        .iter()
+        .flat_map(|f| MemorySize::STANDARD.iter().map(move |&m| (&f.profile, m)))
+        .collect();
+    for rep in 0..plan.repetitions {
+        let cfg = ExperimentConfig {
+            duration_ms: plan.duration_ms,
+            rps: plan.rps,
+            seed: plan.seed.wrapping_add(1 + rep as u64),
+        };
+        per_rep.push(measure_parallel(platform, &base_jobs, &cfg, plan.threads));
+    }
+
+    let sizes = MemorySize::STANDARD.len();
+    let functions_out = functions
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let mut metrics = Vec::with_capacity(sizes);
+            let mut mean_exec = Vec::with_capacity(sizes);
+            let mut mean_cost = Vec::with_capacity(sizes);
+            for si in 0..sizes {
+                let idx = fi * sizes + si;
+                // Pool all repetitions' samples for the metric vector.
+                let pooled: Vec<&sizeless_telemetry::InvocationSample> = per_rep
+                    .iter()
+                    .flat_map(|rep| rep[idx].store.samples())
+                    .collect();
+                metrics.push(MetricVector::from_samples(pooled.into_iter()));
+                mean_exec.push(
+                    per_rep.iter().map(|r| r[idx].summary.mean_execution_ms).sum::<f64>()
+                        / plan.repetitions as f64,
+                );
+                mean_cost.push(
+                    per_rep.iter().map(|r| r[idx].summary.mean_cost_usd).sum::<f64>()
+                        / plan.repetitions as f64,
+                );
+            }
+            FunctionMeasurement {
+                name: f.name.to_string(),
+                metrics,
+                mean_execution_ms: mean_exec,
+                mean_cost_usd: mean_cost,
+            }
+        })
+        .collect();
+
+    AppMeasurement {
+        app_name: app_name.to_string(),
+        functions: functions_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_every_function_and_size() {
+        let platform = Platform::aws_like();
+        let m = measure_app(
+            &platform,
+            CaseStudyApp::FacialRecognition,
+            &MeasurementPlan::quick(),
+        );
+        assert_eq!(m.app_name, "Facial Recognition");
+        assert_eq!(m.functions.len(), 5);
+        for f in &m.functions {
+            assert_eq!(f.metrics.len(), 6);
+            assert_eq!(f.mean_execution_ms.len(), 6);
+            assert!(f.mean_execution_ms.iter().all(|&t| t > 0.0));
+            assert!(f.mean_cost_usd.iter().all(|&c| c > 0.0));
+            assert_eq!(f.times_map().len(), 6);
+        }
+        assert!(m.function("PersistMetadata").is_some());
+        assert!(m.function("NoSuchFunction").is_none());
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let platform = Platform::aws_like();
+        let a = measure_app(
+            &platform,
+            CaseStudyApp::EventProcessing,
+            &MeasurementPlan::quick(),
+        );
+        let b = measure_app(
+            &platform,
+            CaseStudyApp::EventProcessing,
+            &MeasurementPlan::quick(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_plan_shrinks_but_stays_valid() {
+        let p = MeasurementPlan::scaled(CaseStudyApp::AirlineBooking, 20.0);
+        assert!(p.duration_ms >= 2_000.0);
+        assert!(p.repetitions >= 2);
+        assert!(p.rps <= 40.0);
+    }
+
+    #[test]
+    fn cpu_bound_functions_cost_less_at_their_sweet_spot() {
+        // Sanity: measured cost at 128 MB for a CPU-bound airline function
+        // is not lower than at 512 MB (time halving compensates price).
+        let platform = Platform::aws_like();
+        let m = measure_app(
+            &platform,
+            CaseStudyApp::AirlineBooking,
+            &MeasurementPlan::quick(),
+        );
+        let notify = m.function("NotifyBooking").unwrap();
+        let c128 = notify.cost_usd_at(MemorySize::MB_128);
+        let c512 = notify.cost_usd_at(MemorySize::MB_512);
+        assert!(c512 < c128 * 3.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Hello Retail — Nordstrom's serverless, event-sourced product catalog
+//! (7 functions; winner of the inaugural Serverlessconf architecture
+//! competition).
+//!
+//! New products flow through a **Kinesis** event stream; a photographer
+//! workflow acquires product images, which `PhotoProcessor` normalizes —
+//! the parallel image work that gives the paper its largest Hello-Retail
+//! prediction errors.
+
+use crate::AppFunction;
+use sizeless_platform::{ResourceProfile, ServiceCall, ServiceKind, Stage};
+
+/// The seven hello-retail functions.
+pub fn functions() -> Vec<AppFunction> {
+    vec![
+        AppFunction {
+            name: "EventWriter",
+            profile: ResourceProfile::builder("EventWriter")
+                .stage(
+                    Stage::cpu("serialize-event", 8.0)
+                        .with_working_set(10.0)
+                        .with_alloc_churn(3.0),
+                )
+                .stage(Stage::service(
+                    "put-record",
+                    ServiceCall::new(ServiceKind::Kinesis, 1, 4.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "PhotoAssign",
+            profile: ResourceProfile::builder("PhotoAssign")
+                .stage(Stage::cpu("pick-photographer", 0.9))
+                .stage(Stage::service(
+                    "record-assignment",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 3.0),
+                ))
+                .stage(Stage::service(
+                    "notify",
+                    ServiceCall::new(ServiceKind::Sns, 1, 1.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "PhotoProcessor",
+            profile: ResourceProfile::builder("PhotoProcessor")
+                .stage(Stage::service(
+                    "fetch-photo",
+                    ServiceCall::new(ServiceKind::S3, 1, 2000.0),
+                ))
+                .stage(
+                    Stage::cpu_parallel("normalize", 65.0, 2.9)
+                        .with_working_set(60.0)
+                        .with_alloc_churn(30.0),
+                )
+                .stage(Stage::service(
+                    "store-processed",
+                    ServiceCall::new(ServiceKind::S3, 1, 500.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "PhotoReceive",
+            profile: ResourceProfile::builder("PhotoReceive")
+                .stage(Stage::service(
+                    "gateway-hop",
+                    ServiceCall::new(ServiceKind::ApiGateway, 1, 2.0),
+                ))
+                .stage(Stage::cpu("validate-upload", 3.0))
+                .stage(Stage::service(
+                    "record-receipt",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 4.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "PhotoReport",
+            profile: ResourceProfile::builder("PhotoReport")
+                .stage(Stage::cpu("build-report", 4.0).with_alloc_churn(2.0))
+                .stage(Stage::service(
+                    "read-status",
+                    ServiceCall::new(ServiceKind::DynamoDb, 2, 8.0),
+                ))
+                .stage(Stage::service(
+                    "publish-report",
+                    ServiceCall::new(ServiceKind::Sns, 1, 2.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "ProductCatalogApi",
+            profile: ResourceProfile::builder("ProductCatalogApi")
+                .stage(
+                    Stage::cpu("render-page", 5.5)
+                        .with_working_set(38.0)
+                        .with_alloc_churn(8.0),
+                )
+                .stage(Stage::service(
+                    "read-catalog",
+                    ServiceCall::new(ServiceKind::DynamoDb, 1, 20.0),
+                ))
+                .build(),
+        },
+        AppFunction {
+            name: "ProductCatalogBuilder",
+            profile: ResourceProfile::builder("ProductCatalogBuilder")
+                .stage(Stage::service(
+                    "read-stream",
+                    ServiceCall::new(ServiceKind::Kinesis, 1, 12.0),
+                ))
+                .stage(
+                    Stage::cpu("fold-events", 7.5)
+                        .with_working_set(24.0)
+                        .with_alloc_churn(6.0),
+                )
+                .stage(Stage::service(
+                    "update-views",
+                    ServiceCall::new(ServiceKind::DynamoDb, 2, 10.0),
+                ))
+                .build(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::{MemorySize, Platform};
+
+    #[test]
+    fn has_seven_functions() {
+        assert_eq!(functions().len(), 7);
+    }
+
+    #[test]
+    fn photo_assign_is_nearly_flat() {
+        // The paper's Table 7 reports ≤1.4% error for PhotoAssign at every
+        // size — a service-bound function with negligible CPU.
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let assign = fns.iter().find(|f| f.name == "PhotoAssign").unwrap();
+        let t128 = platform.expected_duration_ms(&assign.profile, MemorySize::MB_128);
+        let t3008 = platform.expected_duration_ms(&assign.profile, MemorySize::MB_3008);
+        assert!((t128 - t3008) / t128 < 0.45, "{t128} vs {t3008}");
+    }
+
+    #[test]
+    fn photo_processor_is_the_heaviest_function() {
+        let platform = Platform::aws_like();
+        let fns = functions();
+        let t_proc = platform.expected_duration_ms(
+            &fns.iter().find(|f| f.name == "PhotoProcessor").unwrap().profile,
+            MemorySize::MB_128,
+        );
+        for f in &fns {
+            let t = platform.expected_duration_ms(&f.profile, MemorySize::MB_128);
+            assert!(t <= t_proc, "{} ({t}) heavier than PhotoProcessor", f.name);
+        }
+    }
+}

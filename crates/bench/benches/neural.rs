@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the neural-network library: one training epoch
+//! of the paper's Table-2 architecture, inference latency, and the
+//! supporting matrix kernels. The paper notes the full model trains in
+//! about three minutes — these benches verify our implementation is in the
+//! same class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sizeless_engine::RngStream;
+use sizeless_neural::{Loss, Matrix, NetworkConfig, NeuralNetwork};
+
+fn dataset(n: usize, dim: usize, targets: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = RngStream::from_seed(seed, "bench-nn-data");
+    let x: Vec<f64> = (0..n * dim).map(|_| rng.standard_normal()).collect();
+    let y: Vec<f64> = (0..n * targets).map(|_| rng.uniform(0.2, 1.5)).collect();
+    (Matrix::from_vec(n, dim, x), Matrix::from_vec(n, targets, y))
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    // The paper's model: 11 features → 4×256 → 5 targets, batch 32.
+    let (x, y) = dataset(512, 11, 5, 1);
+    let cfg = NetworkConfig {
+        epochs: 1,
+        ..NetworkConfig::default()
+    };
+    c.bench_function("neural/train/one_epoch_table2_arch_512rows", |b| {
+        b.iter(|| {
+            let mut net = NeuralNetwork::new(11, 5, &cfg, 7);
+            net.fit(&x, &y);
+            net
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (x, y) = dataset(256, 11, 5, 2);
+    let cfg = NetworkConfig {
+        epochs: 2,
+        ..NetworkConfig::default()
+    };
+    let mut net = NeuralNetwork::new(11, 5, &cfg, 3);
+    net.fit(&x, &y);
+    let row = x.row(0).to_vec();
+    c.bench_function("neural/predict/single_row", |b| {
+        b.iter(|| net.predict_one(&row))
+    });
+    c.bench_function("neural/predict/batch_256", |b| b.iter(|| net.predict(&x)));
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = RngStream::from_seed(4, "bench-matmul");
+    let a = Matrix::he_init(256, 256, &mut rng);
+    let b_m = Matrix::he_init(256, 256, &mut rng);
+    c.bench_function("neural/matrix/matmul_256x256", |bch| {
+        bch.iter(|| a.matmul(&b_m))
+    });
+}
+
+fn bench_losses(c: &mut Criterion) {
+    let (_, y) = dataset(1024, 1, 5, 5);
+    let (_, p) = dataset(1024, 1, 5, 6);
+    let mut group = c.benchmark_group("neural/loss");
+    for loss in Loss::ALL {
+        group.bench_function(format!("{loss}/value+grad_1024x5"), |b| {
+            b.iter(|| {
+                let v = loss.value(&y, &p);
+                let g = loss.gradient(&y, &p);
+                (v, g)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_epoch, bench_inference, bench_matmul, bench_losses);
+criterion_main!(benches);

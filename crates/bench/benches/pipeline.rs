@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the Sizeless pipeline pieces: measurement
+//! harness throughput, feature extraction, statistical tests, and the
+//! memory-size optimizer. Together with `platform.rs` these bound the cost
+//! of regenerating the full paper dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sizeless_core::features::FeatureSet;
+use sizeless_core::optimizer::{MemoryOptimizer, Tradeoff};
+use sizeless_engine::RngStream;
+use sizeless_platform::{MemorySize, Platform, PricingModel, ResourceProfile, Stage};
+use sizeless_stats::{cliffs_delta, mann_whitney_u};
+use sizeless_telemetry::{MetricVector, ResourceMonitor};
+use sizeless_workload::{run_experiment, ExperimentConfig};
+use std::collections::BTreeMap;
+
+fn profile() -> ResourceProfile {
+    ResourceProfile::builder("bench-fn")
+        .stage(Stage::cpu("work", 25.0).with_working_set(20.0))
+        .stage(Stage::file_io("io", 256.0, 64.0))
+        .build()
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let platform = Platform::aws_like();
+    let p = profile();
+    let cfg = ExperimentConfig {
+        duration_ms: 5_000.0,
+        rps: 30.0,
+        seed: 1,
+    };
+    c.bench_function("pipeline/run_experiment_5s_at_30rps", |b| {
+        b.iter(|| run_experiment(&platform, &p, MemorySize::MB_512, &cfg))
+    });
+}
+
+fn sample_metric_vector() -> MetricVector {
+    let platform = Platform::aws_like();
+    let monitor = ResourceMonitor::new();
+    let mut rng = RngStream::from_seed(2, "bench-mv");
+    let samples: Vec<_> = (0..500)
+        .map(|i| {
+            let out = platform.execute(&profile(), MemorySize::MB_256, &mut rng);
+            monitor.observe(i as f64 * 33.0, &out.usage, &mut rng)
+        })
+        .collect();
+    MetricVector::from_samples(samples.iter())
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mv = sample_metric_vector();
+    let mut group = c.benchmark_group("pipeline/features");
+    for set in FeatureSet::ALL {
+        group.bench_function(format!("{set:?}"), |b| b.iter(|| set.extract(&mv)));
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let times: BTreeMap<MemorySize, f64> = MemorySize::STANDARD
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, 4000.0 / (1 << i) as f64 + 50.0))
+        .collect();
+    let opt = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::COST_LEANING);
+    c.bench_function("pipeline/optimizer/six_sizes", |b| {
+        b.iter(|| opt.optimize_times(&times))
+    });
+}
+
+fn bench_stat_tests(c: &mut Criterion) {
+    let mut rng = RngStream::from_seed(3, "bench-stats");
+    let a: Vec<f64> = (0..2_000).map(|_| rng.standard_normal()).collect();
+    let b_s: Vec<f64> = (0..2_000).map(|_| rng.standard_normal() + 0.05).collect();
+    c.bench_function("stats/mann_whitney_2000x2000", |bch| {
+        bch.iter(|| mann_whitney_u(&a, &b_s).unwrap())
+    });
+    c.bench_function("stats/cliffs_delta_2000x2000", |bch| {
+        bch.iter(|| cliffs_delta(&a, &b_s).unwrap())
+    });
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let platform = Platform::aws_like();
+    let monitor = ResourceMonitor::new();
+    let mut rng = RngStream::from_seed(4, "bench-mon");
+    let out = platform.execute(&profile(), MemorySize::MB_512, &mut rng);
+    c.bench_function("pipeline/monitor/observe_25_metrics", |b| {
+        b.iter(|| monitor.observe(0.0, &out.usage, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_experiment,
+    bench_feature_extraction,
+    bench_optimizer,
+    bench_stat_tests,
+    bench_monitor
+);
+criterion_main!(benches);

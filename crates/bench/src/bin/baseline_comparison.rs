@@ -1,0 +1,121 @@
+//! **Extension experiment** — Sizeless vs the related-work baselines.
+//!
+//! The paper's claim is not that Sizeless picks *better* sizes than AWS
+//! Lambda Power Tuning — exhaustive measurement is exact by construction —
+//! but that it reaches comparable decisions with **zero dedicated
+//! performance tests** (production monitoring at one size only), where
+//! power tuning needs six and COSE a handful. This binary quantifies that
+//! tradeoff on the 27 case-study functions.
+
+use serde::Serialize;
+use sizeless_bench::{print_table, ExperimentContext};
+use sizeless_core::baselines::{CoseOptimizer, PowerTuning};
+use sizeless_core::optimizer::{MemoryOptimizer, Tradeoff};
+use sizeless_engine::RngStream;
+use sizeless_platform::{MemorySize, Platform};
+use sizeless_workload::ExperimentConfig;
+
+#[derive(Serialize)]
+struct ApproachSummary {
+    approach: String,
+    dedicated_tests_per_function: f64,
+    optimal_rate: f64,
+    top2_rate: f64,
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+    let ds = ctx.dataset(&platform);
+    let base = MemorySize::MB_256;
+    let model = ctx.model_for_base(&ds, base);
+    let apps = ctx.app_measurements(&platform);
+    let optimizer = MemoryOptimizer::new(*platform.pricing(), Tradeoff::COST_LEANING);
+
+    let test_cfg = ExperimentConfig {
+        duration_ms: (60_000.0 / ctx.scale).max(5_000.0),
+        rps: 20.0,
+        seed: ctx.seed.wrapping_add(0xBA5E),
+    };
+    let power = PowerTuning::new(test_cfg);
+    let cose = CoseOptimizer::new(test_cfg, 3);
+    let mut rng = RngStream::from_seed(ctx.seed, "baseline-comparison");
+
+    let mut totals = [(0usize, 0usize, 0usize); 3]; // (optimal, top2, tests)
+    let mut n = 0usize;
+
+    for (app, measurement) in &apps {
+        eprintln!("[baselines] {app}");
+        let functions = app.functions();
+        for f in &measurement.functions {
+            let profile = &functions
+                .iter()
+                .find(|af| af.name == f.name)
+                .expect("profile exists")
+                .profile;
+            // Ground truth from the measured times.
+            let truth = optimizer.optimize_times(&f.times_map());
+
+            // Sizeless: monitoring data at the base size only.
+            let sizeless_choice = optimizer.optimize(&model.predict(f.metrics_at(base))).chosen;
+            // Power tuning: six dedicated tests.
+            let power_out = power.optimize(&platform, profile, &optimizer);
+            // COSE: three dedicated tests.
+            let cose_out = cose.optimize(&platform, profile, &optimizer, &mut rng);
+
+            for (i, (choice, tests)) in [
+                (sizeless_choice, 0usize),
+                (power_out.chosen, power_out.measurements),
+                (cose_out.chosen, cose_out.measurements),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let rank = truth.rank_of(choice);
+                if rank == 0 {
+                    totals[i].0 += 1;
+                }
+                if rank <= 1 {
+                    totals[i].1 += 1;
+                }
+                totals[i].2 += tests;
+            }
+            n += 1;
+        }
+    }
+
+    let names = ["Sizeless (no dedicated tests)", "Power Tuning (exhaustive)", "COSE-style (budget 3)"];
+    let summaries: Vec<ApproachSummary> = names
+        .iter()
+        .zip(totals)
+        .map(|(name, (optimal, top2, tests))| ApproachSummary {
+            approach: name.to_string(),
+            dedicated_tests_per_function: tests as f64 / n as f64,
+            optimal_rate: optimal as f64 / n as f64,
+            top2_rate: top2 as f64 / n as f64,
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.approach.clone(),
+                format!("{:.1}", s.dedicated_tests_per_function),
+                format!("{:.1}%", s.optimal_rate * 100.0),
+                format!("{:.1}%", s.top2_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Baseline comparison over 27 case-study functions (t = 0.75)",
+        &["Approach", "Tests/function", "Optimal", "Top-2"],
+        &rows,
+    );
+    println!(
+        "\nExpected: power tuning ≈100% optimal at 6 tests/function; Sizeless within \
+         ~15-25 points of it at 0 tests; COSE in between at 3."
+    );
+
+    ctx.write_json("baseline_comparison.json", &summaries);
+}

@@ -1,0 +1,87 @@
+//! **Figure 1** — mean execution time and cost per execution for the four
+//! motivating functions (`InvertMatrix`, `PrimeNumbers`, `DynamoDB`,
+//! `API-Call`) across the six memory sizes.
+//!
+//! Regenerates the series of the paper's Figure 1 from simulated
+//! measurements and checks the headline observations:
+//! InvertMatrix −49.6% at 256 MB, PrimeNumbers −92.9% at 2048 MB with
+//! lower cost, DynamoDB flattening after 512 MB, API-Call flat.
+
+use serde::Serialize;
+use sizeless_bench::{print_table, ExperimentContext};
+use sizeless_engine::RngStream;
+use sizeless_funcgen::MotivatingFunction;
+use sizeless_platform::{MemorySize, Platform};
+
+#[derive(Serialize)]
+struct Series {
+    function: String,
+    memory_mb: Vec<u32>,
+    execution_ms: Vec<f64>,
+    cost_cents: Vec<f64>,
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+    let mut rng = RngStream::from_seed(ctx.seed, "fig1");
+    // Enough repetitions that means are tight even at --scale 20.
+    let reps = ((4000.0 / ctx.scale) as usize).max(200);
+
+    let mut all = Vec::new();
+    for f in MotivatingFunction::ALL {
+        let profile = f.profile();
+        let mut execution_ms = Vec::new();
+        let mut cost_cents = Vec::new();
+        for m in MemorySize::STANDARD {
+            let mean: f64 = (0..reps)
+                .map(|_| platform.execute(&profile, m, &mut rng).duration_ms)
+                .sum::<f64>()
+                / reps as f64;
+            execution_ms.push(mean);
+            cost_cents.push(platform.pricing().cost_cents(mean, m));
+        }
+        all.push(Series {
+            function: f.name().to_string(),
+            memory_mb: MemorySize::STANDARD.iter().map(|m| m.mb()).collect(),
+            execution_ms,
+            cost_cents,
+        });
+    }
+
+    for s in &all {
+        let rows: Vec<Vec<String>> = s
+            .memory_mb
+            .iter()
+            .zip(s.execution_ms.iter().zip(&s.cost_cents))
+            .map(|(m, (t, c))| vec![format!("{m}"), format!("{t:.1}"), format!("{c:.6}")])
+            .collect();
+        print_table(
+            &format!("Figure 1: {}", s.function),
+            &["Memory [MB]", "Exec time [ms]", "Cost [ct]"],
+            &rows,
+        );
+    }
+
+    // Paper's headline observations.
+    let invert = &all[0];
+    let drop_256 = 1.0 - invert.execution_ms[1] / invert.execution_ms[0];
+    let primes = &all[1];
+    let drop_2048 = 1.0 - primes.execution_ms[4] / primes.execution_ms[0];
+    let cost_drop_2048 = 1.0 - primes.cost_cents[4] / primes.cost_cents[0];
+    let dynamo = &all[2];
+    let dyn_drop_512 = 1.0 - dynamo.execution_ms[2] / dynamo.execution_ms[0];
+    let api = &all[3];
+    let api_drop = 1.0 - api.execution_ms[5] / api.execution_ms[0];
+    println!("\nHeadline checks (paper value in parentheses):");
+    println!("  InvertMatrix 128→256 MB speedup: {:.1}% (49.6%)", drop_256 * 100.0);
+    println!(
+        "  PrimeNumbers 128→2048 MB speedup: {:.1}% (92.9%), cost change: {:.1}% (−13.3%)",
+        drop_2048 * 100.0,
+        -cost_drop_2048 * 100.0
+    );
+    println!("  DynamoDB 128→512 MB speedup: {:.1}% (86.6%)", dyn_drop_512 * 100.0);
+    println!("  API-Call 128→3008 MB speedup: {:.1}% (≈0%)", api_drop * 100.0);
+
+    ctx.write_json("fig1_motivating.json", &all);
+}

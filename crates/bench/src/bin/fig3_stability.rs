@@ -1,0 +1,111 @@
+//! **Figure 3** — number of functions for which each metric is unstable,
+//! per experiment duration.
+//!
+//! The paper measures 50 random functions for fifteen minutes at 30 rps and
+//! Mann–Whitney-tests every prefix window against the full run; `mallocMem`
+//! is the last metric to stabilize (at ten minutes), which fixes the
+//! dataset-generation experiment duration.
+
+use serde::Serialize;
+use sizeless_bench::{print_table, ExperimentContext};
+use sizeless_engine::RngStream;
+use sizeless_funcgen::{FunctionGenerator, GeneratorConfig};
+use sizeless_platform::{MemorySize, Platform};
+use sizeless_telemetry::stability::{unstable_counts, StabilityAnalysis, StabilityConfig};
+use sizeless_telemetry::Metric;
+use sizeless_workload::{run_experiment, ExperimentConfig};
+
+#[derive(Serialize)]
+struct Fig3Result {
+    window_minutes: Vec<f64>,
+    /// `unstable[metric][window]` function counts.
+    unstable: Vec<(String, Vec<usize>)>,
+    functions: usize,
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+
+    let functions = ((50.0 / ctx.scale.sqrt()) as usize).max(12);
+    let total_min = (15.0 / ctx.scale.sqrt()).max(5.0);
+    let stability_cfg = StabilityConfig {
+        total_duration_ms: total_min * 60_000.0,
+        window_step_ms: total_min / 15.0 * 60_000.0,
+        alpha: 0.05,
+    };
+
+    eprintln!("[fig3] {functions} functions x {total_min:.1} min at 30 rps");
+    let mut generator = FunctionGenerator::new(GeneratorConfig::default());
+    let mut rng = RngStream::from_seed(ctx.seed, "fig3-funcgen");
+    let fns = generator.generate_many(functions, &mut rng);
+
+    let analyses: Vec<StabilityAnalysis> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let cfg = ExperimentConfig {
+                duration_ms: stability_cfg.total_duration_ms,
+                rps: 30.0,
+                seed: ctx.seed.wrapping_add(i as u64),
+            };
+            let m = run_experiment(&platform, &f.profile, MemorySize::MB_256, &cfg);
+            StabilityAnalysis::analyze(&m.store, &stability_cfg)
+        })
+        .collect();
+
+    let counts = unstable_counts(&analyses);
+    let windows_min: Vec<f64> = stability_cfg
+        .windows_ms()
+        .iter()
+        .map(|w| w / 60_000.0)
+        .collect();
+
+    // Report the metrics that are unstable anywhere (the paper highlights
+    // mallocMem, heapExecutable/physical heap, bytecodeMetadata).
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for metric in Metric::ALL {
+        let per_window: Vec<usize> = counts.iter().map(|row| row[metric.index()]).collect();
+        if per_window.iter().any(|&c| c > 0) {
+            rows.push(
+                std::iter::once(metric.name().to_string())
+                    .chain(per_window.iter().map(|c| c.to_string()))
+                    .collect::<Vec<String>>(),
+            );
+        }
+        series.push((metric.name().to_string(), per_window));
+    }
+    let mut headers: Vec<String> = vec!["metric".to_string()];
+    headers.extend(windows_min.iter().map(|w| format!("{w:.0}m")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 3: functions with unstable metrics per window",
+        &header_refs,
+        &rows,
+    );
+    if rows.is_empty() {
+        println!("(all metrics stable in every window at this scale)");
+    }
+
+    // The paper's conclusion: by the 10-minute mark (2/3 of the grid) every
+    // metric should be stable for every function.
+    let two_thirds = counts.len() * 2 / 3;
+    let late_unstable: usize = counts[two_thirds..]
+        .iter()
+        .map(|row| row.iter().sum::<usize>())
+        .sum();
+    println!(
+        "\nUnstable (metric, function) pairs in the last third of windows: {late_unstable}"
+    );
+    println!("Paper: all metrics stable after 10 of 15 minutes; mallocMem last to settle.");
+
+    ctx.write_json(
+        "fig3_stability.json",
+        &Fig3Result {
+            window_minutes: windows_min,
+            unstable: series,
+            functions,
+        },
+    );
+}

@@ -1,0 +1,121 @@
+//! **Figure 6** — measured vs predicted execution time for case-study
+//! functions, for every base memory size.
+//!
+//! For each of the 27 case-study functions this prints the measured mean
+//! execution time per memory size and the predictions made from each of the
+//! six possible base sizes — the data behind the paper's scatter/cross
+//! plots.
+
+use serde::Serialize;
+use sizeless_bench::{print_table, ExperimentContext};
+use sizeless_platform::{MemorySize, Platform};
+
+#[derive(Serialize)]
+struct FunctionPrediction {
+    app: String,
+    function: String,
+    memory_mb: Vec<u32>,
+    measured_ms: Vec<f64>,
+    /// `predicted_ms[base][target]`, indexed in standard-size order.
+    predicted_ms: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+    let ds = ctx.dataset(&platform);
+    let models: Vec<_> = MemorySize::STANDARD
+        .iter()
+        .map(|&b| {
+            eprintln!("[train] base {b}");
+            ctx.model_for_base(&ds, b)
+        })
+        .collect();
+    let apps = ctx.app_measurements(&platform);
+
+    let mut results = Vec::new();
+    for (app, measurement) in &apps {
+        for f in &measurement.functions {
+            let measured: Vec<f64> = MemorySize::STANDARD
+                .iter()
+                .map(|&m| f.execution_ms_at(m))
+                .collect();
+            let predicted: Vec<Vec<f64>> = models
+                .iter()
+                .map(|model| {
+                    let p = model.predict(f.metrics_at(model.base()));
+                    MemorySize::STANDARD.iter().map(|&m| p.time_ms(m)).collect()
+                })
+                .collect();
+            results.push(FunctionPrediction {
+                app: app.name().to_string(),
+                function: f.name.clone(),
+                memory_mb: MemorySize::STANDARD.iter().map(|m| m.mb()).collect(),
+                measured_ms: measured,
+                predicted_ms: predicted,
+            });
+        }
+    }
+
+    // Print the two showcase functions per app that Figure 6 uses.
+    let showcased = [
+        ("Airline Booking", "CreateCharge"),
+        ("Airline Booking", "NotifyBooking"),
+        ("Facial Recognition", "PersistMetadata"),
+        ("Facial Recognition", "FaceSearch"),
+        ("Event Processing", "EventInserter"),
+        ("Event Processing", "IngestEvent"),
+        ("Hello Retail", "EventWriter"),
+        ("Hello Retail", "ProductCatalogApi"),
+    ];
+    for (app, name) in showcased {
+        let Some(r) = results.iter().find(|r| r.app == app && r.function == name) else {
+            continue;
+        };
+        let mut rows = Vec::new();
+        for (i, m) in r.memory_mb.iter().enumerate() {
+            let mut row = vec![m.to_string(), format!("{:.1}", r.measured_ms[i])];
+            for b in 0..6 {
+                row.push(format!("{:.1}", r.predicted_ms[b][i]));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 6: {app} - {name} (measured vs per-base predictions)"),
+            &[
+                "Target [MB]",
+                "Measured",
+                "from 128",
+                "from 256",
+                "from 512",
+                "from 1024",
+                "from 2048",
+                "from 3008",
+            ],
+            &rows,
+        );
+    }
+
+    // Overall transfer quality: mean relative error across all functions,
+    // bases, and targets (base-size self-predictions excluded).
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for r in &results {
+        for (b, base) in MemorySize::STANDARD.iter().enumerate() {
+            for (t, _target) in MemorySize::STANDARD.iter().enumerate() {
+                if base.standard_index() == Some(t) {
+                    continue;
+                }
+                total += (r.predicted_ms[b][t] - r.measured_ms[t]).abs() / r.measured_ms[t];
+                n += 1;
+            }
+        }
+    }
+    println!(
+        "\nMean relative prediction error over all 27 functions, 6 bases, 5 targets: {:.1}% \
+         (paper: 15.3% average across its evaluation)",
+        total / n as f64 * 100.0
+    );
+
+    ctx.write_json("fig6_predictions.json", &results);
+}

@@ -1,0 +1,104 @@
+//! **Figure 7** — how good is the *selected* memory size? For each tradeoff
+//! t ∈ {0.75, 0.5, 0.25}, the rank (best, 2nd-best, …) that the size chosen
+//! from *predictions* achieves under the *measured* ground truth.
+//!
+//! Paper: optimal size for 74.0% (t=0.75), 81.4% (t=0.5), 81.4% (t=0.25) of
+//! functions; overall 79.0% optimal and 12.3% second-best.
+
+use serde::Serialize;
+use sizeless_bench::{print_table, ExperimentContext};
+use sizeless_core::optimizer::{MemoryOptimizer, Tradeoff};
+use sizeless_platform::{MemorySize, Platform};
+
+#[derive(Serialize)]
+struct RankResult {
+    tradeoff: f64,
+    /// Per app: rank histogram (index 0 = chose the best size).
+    per_app: Vec<(String, Vec<usize>)>,
+    optimal_fraction: f64,
+    second_best_fraction: f64,
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+    let ds = ctx.dataset(&platform);
+    let base = MemorySize::MB_256;
+    let model = ctx.model_for_base(&ds, base);
+    let apps = ctx.app_measurements(&platform);
+
+    let mut results = Vec::new();
+    let mut overall_best = 0usize;
+    let mut overall_second = 0usize;
+    let mut overall_n = 0usize;
+
+    for t in [0.75, 0.5, 0.25] {
+        let optimizer =
+            MemoryOptimizer::new(*platform.pricing(), Tradeoff::new(t).expect("valid"));
+        let mut per_app = Vec::new();
+        let mut best = 0usize;
+        let mut second = 0usize;
+        let mut n = 0usize;
+        for (app, measurement) in &apps {
+            let mut histogram = vec![0usize; 6];
+            for f in &measurement.functions {
+                // Decision from predictions…
+                let predicted = model.predict(f.metrics_at(base));
+                let chosen = optimizer.optimize(&predicted).chosen;
+                // …ranked under measured ground truth.
+                let truth = optimizer.optimize_times(&f.times_map());
+                let rank = truth.rank_of(chosen);
+                histogram[rank] += 1;
+                n += 1;
+                if rank == 0 {
+                    best += 1;
+                }
+                if rank == 1 {
+                    second += 1;
+                }
+            }
+            per_app.push((app.name().to_string(), histogram));
+        }
+        overall_best += best;
+        overall_second += second;
+        overall_n += n;
+
+        let rows: Vec<Vec<String>> = per_app
+            .iter()
+            .map(|(name, h)| {
+                std::iter::once(name.clone())
+                    .chain(h.iter().map(|c| c.to_string()))
+                    .collect()
+            })
+            .collect();
+        print_table(
+            &format!("Figure 7: rank of selected memory size, t = {t}"),
+            &["Application", "Best", "2nd", "3rd", "4th", "5th", "6th"],
+            &rows,
+        );
+        println!(
+            "t = {t}: optimal for {:.1}% of functions (paper: {}%)",
+            best as f64 / n as f64 * 100.0,
+            match t {
+                0.75 => "74.0",
+                0.5 => "81.4",
+                _ => "81.4",
+            }
+        );
+
+        results.push(RankResult {
+            tradeoff: t,
+            per_app,
+            optimal_fraction: best as f64 / n as f64,
+            second_best_fraction: second as f64 / n as f64,
+        });
+    }
+
+    println!(
+        "\nOverall: optimal {:.1}% (paper 79.0%), second-best {:.1}% (paper 12.3%)",
+        overall_best as f64 / overall_n as f64 * 100.0,
+        overall_second as f64 / overall_n as f64 * 100.0
+    );
+
+    ctx.write_json("fig7_selection_rank.json", &results);
+}

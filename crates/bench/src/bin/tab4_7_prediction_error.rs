@@ -1,0 +1,96 @@
+//! **Tables 4–7** — relative prediction error per function and target size
+//! based on monitoring data from the 256 MB base size, for all four
+//! case-study applications.
+//!
+//! Paper reference values ("All functions" rows, base 256):
+//! Airline Booking 7.0–15.0%, Facial Recognition 8.2–15.0%,
+//! Event Processing 11.4–34.2% (dominated by `ListAllEvents`),
+//! Hello Retail 6.9–14.8%; overall average 15.3%.
+
+use serde::Serialize;
+use sizeless_bench::{print_table, ExperimentContext};
+use sizeless_core::model::target_sizes;
+use sizeless_platform::{MemorySize, Platform};
+
+#[derive(Serialize)]
+struct AppErrors {
+    app: String,
+    target_mb: Vec<u32>,
+    /// Per function: name plus error (fraction) per target size.
+    functions: Vec<(String, Vec<f64>)>,
+    /// Mean per target over functions.
+    all_functions: Vec<f64>,
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+    let ds = ctx.dataset(&platform);
+    let base = MemorySize::MB_256;
+    let model = ctx.model_for_base(&ds, base);
+    let apps = ctx.app_measurements(&platform);
+    let targets = target_sizes(base);
+
+    let mut out = Vec::new();
+    let mut grand_total = 0.0;
+    let mut grand_n = 0usize;
+
+    for (table_no, (app, measurement)) in apps.iter().enumerate() {
+        let mut functions = Vec::new();
+        for f in &measurement.functions {
+            let predicted = model.predict(f.metrics_at(base));
+            let errors: Vec<f64> = targets
+                .iter()
+                .map(|&t| {
+                    let measured = f.execution_ms_at(t);
+                    (predicted.time_ms(t) - measured).abs() / measured
+                })
+                .collect();
+            grand_total += errors.iter().sum::<f64>();
+            grand_n += errors.len();
+            functions.push((f.name.clone(), errors));
+        }
+        let all_functions: Vec<f64> = (0..targets.len())
+            .map(|i| {
+                functions.iter().map(|(_, e)| e[i]).sum::<f64>() / functions.len() as f64
+            })
+            .collect();
+
+        let mut rows: Vec<Vec<String>> = functions
+            .iter()
+            .map(|(name, errs)| {
+                std::iter::once(name.clone())
+                    .chain(errs.iter().map(|e| format!("{:.1}", e * 100.0)))
+                    .collect()
+            })
+            .collect();
+        rows.push(
+            std::iter::once("All functions".to_string())
+                .chain(all_functions.iter().map(|e| format!("{:.1}", e * 100.0)))
+                .collect(),
+        );
+        print_table(
+            &format!(
+                "Table {}: relative prediction error [%], {} (base 256 MB)",
+                table_no + 4,
+                app.name()
+            ),
+            &["Targetsize", "128", "512", "1024", "2048", "3008"],
+            &rows,
+        );
+
+        out.push(AppErrors {
+            app: app.name().to_string(),
+            target_mb: targets.iter().map(|m| m.mb()).collect(),
+            functions,
+            all_functions,
+        });
+    }
+
+    println!(
+        "\nOverall average prediction error: {:.1}% (paper: 15.3%)",
+        grand_total / grand_n as f64 * 100.0
+    );
+
+    ctx.write_json("tab4_7_prediction_error.json", &out);
+}

@@ -1,0 +1,274 @@
+//! Shared utilities for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary accepts:
+//!
+//! * `--seed <u64>` — master seed (default 0);
+//! * `--scale <f64>` — ≥ 1 shrinks dataset sizes / durations / epochs for
+//!   quick runs (default 5; use `--scale 1` for the paper-scale run);
+//! * `--out <dir>` — results directory (default `results/`).
+//!
+//! Binaries print paper-style tables to stdout and persist JSON into the
+//! results directory so `EXPERIMENTS.md` numbers are regenerable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use sizeless_core::dataset::{DatasetConfig, TrainingDataset};
+use sizeless_core::features::FeatureSet;
+use sizeless_core::model::SizelessModel;
+use sizeless_neural::NetworkConfig;
+use sizeless_platform::{MemorySize, Platform};
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line context shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Master seed.
+    pub seed: u64,
+    /// Scale divisor (1 = paper scale).
+    pub scale: f64,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl ExperimentContext {
+    /// Parses `--seed`, `--scale`, and `--out` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (these are developer tools).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut ctx = ExperimentContext {
+            seed: 0,
+            scale: 5.0,
+            out_dir: PathBuf::from("results"),
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    ctx.seed = args[i + 1].parse().expect("--seed takes a u64");
+                    i += 2;
+                }
+                "--scale" => {
+                    ctx.scale = args[i + 1].parse().expect("--scale takes a float >= 1");
+                    assert!(ctx.scale >= 1.0, "--scale must be >= 1");
+                    i += 2;
+                }
+                "--out" => {
+                    ctx.out_dir = PathBuf::from(&args[i + 1]);
+                    i += 2;
+                }
+                other => panic!("unknown argument `{other}` (expected --seed/--scale/--out)"),
+            }
+        }
+        ctx
+    }
+
+    /// The dataset configuration at this scale: the paper's 2 000 functions
+    /// and 10-minute experiments divided by `scale` (with floors that keep
+    /// aggregates stable).
+    pub fn dataset_config(&self) -> DatasetConfig {
+        let functions = ((2000.0 / self.scale) as usize).max(120);
+        let duration_ms = (600_000.0 / self.scale).max(30_000.0);
+        DatasetConfig {
+            function_count: functions,
+            experiment: sizeless_workload::ExperimentConfig {
+                duration_ms,
+                rps: 30.0,
+                seed: self.seed,
+            },
+            generator: Default::default(),
+            seed: self.seed,
+            threads: worker_threads(),
+        }
+    }
+
+    /// The network configuration at this scale: the paper's Table-2 model,
+    /// with epochs reduced under scaling (architecture unchanged).
+    pub fn network_config(&self) -> NetworkConfig {
+        let epochs = ((200.0 / self.scale.sqrt()) as usize).max(60);
+        NetworkConfig {
+            epochs,
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// Loads the cached training dataset for this (seed, scale) or
+    /// generates and caches it. All experiment binaries share this cache so
+    /// the expensive offline phase runs once.
+    pub fn dataset(&self, platform: &Platform) -> TrainingDataset {
+        let cfg = self.dataset_config();
+        let cache = self.out_dir.join(format!(
+            "dataset-n{}-d{}-seed{}.json",
+            cfg.function_count, cfg.experiment.duration_ms as u64, self.seed
+        ));
+        if let Ok(ds) = TrainingDataset::load(&cache) {
+            if ds.config == cfg {
+                eprintln!("[cache] loaded {}", cache.display());
+                return ds;
+            }
+        }
+        eprintln!(
+            "[generate] {} functions x 6 sizes x {:.0}s ...",
+            cfg.function_count,
+            cfg.experiment.duration_ms / 1000.0
+        );
+        let ds = TrainingDataset::generate(platform, &cfg);
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        ds.save(&cache).expect("cache dataset");
+        ds
+    }
+
+    /// Trains the F4 model for a base size.
+    pub fn model_for_base(&self, dataset: &TrainingDataset, base: MemorySize) -> SizelessModel {
+        SizelessModel::train(
+            dataset,
+            base,
+            FeatureSet::F4,
+            &self.network_config(),
+            self.seed.wrapping_add(base.mb() as u64),
+        )
+        .expect("dataset large enough")
+    }
+
+    /// Writes a JSON result file into the output directory.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(name);
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .expect("write result");
+        eprintln!("[result] wrote {}", path.display());
+    }
+}
+
+impl ExperimentContext {
+    /// Measures all four case-study applications (with caching), returning
+    /// them in the paper's order. The paper's plans (10 repetitions of the
+    /// app workloads) are divided by `scale`.
+    pub fn app_measurements(
+        &self,
+        platform: &Platform,
+    ) -> Vec<(sizeless_apps::CaseStudyApp, sizeless_apps::AppMeasurement)> {
+        use sizeless_apps::{measure_app, CaseStudyApp, MeasurementPlan};
+        let cache = self
+            .out_dir
+            .join(format!("apps-scale{}-seed{}.json", self.scale, self.seed));
+        if let Ok(json) = std::fs::read_to_string(&cache) {
+            if let Ok(cached) = serde_json::from_str::<Vec<sizeless_apps::AppMeasurement>>(&json)
+            {
+                if cached.len() == 4 {
+                    eprintln!("[cache] loaded {}", cache.display());
+                    return CaseStudyApp::ALL.iter().copied().zip(cached).collect();
+                }
+            }
+        }
+        let out: Vec<(CaseStudyApp, sizeless_apps::AppMeasurement)> = CaseStudyApp::ALL
+            .iter()
+            .map(|&app| {
+                let mut plan = MeasurementPlan::scaled(app, self.scale * 4.0);
+                plan.seed = self.seed;
+                plan.threads = worker_threads();
+                eprintln!(
+                    "[measure] {app}: {} fns x 6 sizes x {} reps x {:.0}s @ {} rps",
+                    app.functions().len(),
+                    plan.repetitions,
+                    plan.duration_ms / 1000.0,
+                    plan.rps
+                );
+                (app, measure_app(platform, app, &plan))
+            })
+            .collect();
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let payload: Vec<&sizeless_apps::AppMeasurement> = out.iter().map(|(_, m)| m).collect();
+        std::fs::write(
+            &cache,
+            serde_json::to_string(&payload).expect("serialize app measurements"),
+        )
+        .expect("write app cache");
+        out
+    }
+}
+
+/// Number of measurement worker threads (respects available parallelism).
+pub fn worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// The workspace results directory.
+pub fn results_dir() -> &'static Path {
+    Path::new("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_config_scales_down() {
+        let ctx = ExperimentContext {
+            seed: 0,
+            scale: 10.0,
+            out_dir: PathBuf::from("/tmp"),
+        };
+        let cfg = ctx.dataset_config();
+        assert_eq!(cfg.function_count, 200);
+        assert_eq!(cfg.experiment.duration_ms, 60_000.0);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let ctx = ExperimentContext {
+            seed: 0,
+            scale: 1.0,
+            out_dir: PathBuf::from("/tmp"),
+        };
+        let cfg = ctx.dataset_config();
+        assert_eq!(cfg.function_count, 2000);
+        assert_eq!(cfg.experiment.duration_ms, 600_000.0);
+        assert_eq!(ctx.network_config().epochs, 200);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.397), "39.7%");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type of the Sizeless pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by dataset handling and the pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The dataset is too small for the requested operation.
+    DatasetTooSmall {
+        /// Functions available.
+        have: usize,
+        /// Functions required.
+        need: usize,
+    },
+    /// Dataset (de)serialization failed.
+    Serialization(serde_json::Error),
+    /// Reading or writing a dataset file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DatasetTooSmall { have, need } => {
+                write!(f, "dataset has {have} functions but {need} are required")
+            }
+            CoreError::Serialization(e) => write!(f, "dataset serialization failed: {e}"),
+            CoreError::Io(e) => write!(f, "dataset file access failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Serialization(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for CoreError {
+    fn from(e: serde_json::Error) -> Self {
+        CoreError::Serialization(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::DatasetTooSmall { have: 3, need: 10 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Dataset export in the replication-package format.
+//!
+//! The paper publishes its 12 000-measurement dataset in a CodeOcean
+//! capsule for one-click reanalysis. This module writes the simulated
+//! dataset in the same spirit: one CSV row per (function, memory size) with
+//! the mean of every Table-1 metric, the mean execution time, and the mean
+//! cost — directly loadable by pandas/R for external analysis.
+
+use crate::dataset::TrainingDataset;
+use crate::error::CoreError;
+use sizeless_platform::MemorySize;
+use sizeless_telemetry::Metric;
+use std::io::Write;
+use std::path::Path;
+
+/// The CSV header: identity columns plus one column per metric mean.
+pub fn csv_header() -> String {
+    let mut cols = vec!["function".to_string(), "memory_mb".to_string()];
+    cols.extend(Metric::ALL.iter().map(|m| format!("{}_mean", m.name())));
+    cols.push("mean_execution_ms".to_string());
+    cols.push("mean_cost_usd".to_string());
+    cols.join(",")
+}
+
+/// Writes the dataset as CSV.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] on write failure.
+pub fn export_csv(dataset: &TrainingDataset, path: &Path) -> Result<(), CoreError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(file, "{}", csv_header())?;
+    for record in &dataset.records {
+        for &m in &MemorySize::STANDARD {
+            let mv = record.metrics_at(m);
+            let mut row = vec![record.name.clone(), m.mb().to_string()];
+            row.extend(Metric::ALL.iter().map(|metric| format!("{}", mv.mean(*metric))));
+            row.push(format!("{}", record.execution_ms_at(m)));
+            row.push(format!("{}", record.mean_cost_usd[m.standard_index().expect("standard")]));
+            writeln!(file, "{}", row.join(","))?;
+        }
+    }
+    file.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use sizeless_platform::Platform;
+
+    #[test]
+    fn csv_has_one_row_per_function_size_pair() {
+        let ds = TrainingDataset::generate(&Platform::aws_like(), &DatasetConfig::tiny(3));
+        let path = std::env::temp_dir().join("sizeless-export-test.csv");
+        export_csv(&ds, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 * 6, "header + 18 rows");
+        // Header: 2 identity + 25 metrics + 2 aggregates.
+        assert_eq!(lines[0].split(',').count(), 29);
+        assert!(lines[0].starts_with("function,memory_mb,execution_time_mean"));
+        // Every data row parses into the same number of numeric fields.
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 29);
+            for f in &fields[2..] {
+                assert!(f.parse::<f64>().is_ok(), "non-numeric field {f}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn export_to_unwritable_path_errors() {
+        let ds = TrainingDataset::generate(&Platform::aws_like(), &DatasetConfig::tiny(2));
+        let err = export_csv(&ds, Path::new("/nonexistent/dir/out.csv")).unwrap_err();
+        assert!(matches!(err, CoreError::Io(_)));
+    }
+}

@@ -1,0 +1,343 @@
+//! Feature engineering — the paper's Section 3.4 feature sets F0 … F4.
+//!
+//! * **F0** — the mean of each of the 25 monitored metrics.
+//! * **F1** — the thirteen means that survive the first sequential-forward-
+//!   selection round (accuracy in Figure 4 rises until thirteen features).
+//! * **F2** — F1 plus *relative* features that normalize by execution
+//!   length (e.g. context switches **per second**).
+//! * **F3** — the eleven most promising features of F2.
+//! * **F4** — the final set after adding standard deviations and
+//!   coefficients of variation: eleven features, all computable from just
+//!   **six base metrics** — heap used, user CPU time, system CPU time,
+//!   voluntary context switches, bytes written to the file system, and
+//!   bytes received over the network.
+//!
+//! The exact member lists below are this reproduction's realization of the
+//! paper's (unpublished per-feature) selection; the *SFS machinery itself*
+//! is exercised end-to-end by the Figure-4 experiment binary.
+
+use serde::{Deserialize, Serialize};
+use sizeless_telemetry::{Metric, MetricVector};
+use std::fmt;
+
+/// How a feature is derived from a monitored metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// The metric's mean over the measurement window.
+    Mean,
+    /// The metric's mean divided by the mean execution time in seconds
+    /// (a rate: "per second of execution").
+    PerSecond,
+    /// The metric's standard deviation.
+    Std,
+    /// The metric's coefficient of variation.
+    Cv,
+}
+
+/// A single feature definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureDef {
+    /// Source metric.
+    pub metric: Metric,
+    /// Derivation.
+    pub kind: FeatureKind,
+}
+
+impl FeatureDef {
+    /// Mean-of-metric feature.
+    pub fn mean(metric: Metric) -> Self {
+        FeatureDef {
+            metric,
+            kind: FeatureKind::Mean,
+        }
+    }
+
+    /// Per-second feature.
+    pub fn per_second(metric: Metric) -> Self {
+        FeatureDef {
+            metric,
+            kind: FeatureKind::PerSecond,
+        }
+    }
+
+    /// Standard-deviation feature.
+    pub fn std(metric: Metric) -> Self {
+        FeatureDef {
+            metric,
+            kind: FeatureKind::Std,
+        }
+    }
+
+    /// Coefficient-of-variation feature.
+    pub fn cv(metric: Metric) -> Self {
+        FeatureDef {
+            metric,
+            kind: FeatureKind::Cv,
+        }
+    }
+
+    /// Computes the feature value from an aggregated metric vector.
+    pub fn value(&self, mv: &MetricVector) -> f64 {
+        let exec_s = (mv.mean_execution_time_ms() / 1000.0).max(1e-9);
+        match self.kind {
+            FeatureKind::Mean => mv.mean(self.metric),
+            FeatureKind::PerSecond => mv.mean(self.metric) / exec_s,
+            FeatureKind::Std => mv.std_dev(self.metric),
+            FeatureKind::Cv => mv.cv(self.metric),
+        }
+    }
+
+    /// A human-readable name, e.g. `user_cpu_time/s`.
+    pub fn name(&self) -> String {
+        match self.kind {
+            FeatureKind::Mean => self.metric.name().to_string(),
+            FeatureKind::PerSecond => format!("{}/s", self.metric.name()),
+            FeatureKind::Std => format!("{}_std", self.metric.name()),
+            FeatureKind::Cv => format!("{}_cv", self.metric.name()),
+        }
+    }
+}
+
+impl fmt::Display for FeatureDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// One of the paper's feature sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// All 25 metric means.
+    F0,
+    /// Thirteen selected means.
+    F1,
+    /// F1 plus per-second rates.
+    F2,
+    /// Eleven selected features of F2.
+    F3,
+    /// The final eleven features over six base metrics.
+    F4,
+}
+
+impl FeatureSet {
+    /// All feature sets in refinement order.
+    pub const ALL: [FeatureSet; 5] = [
+        FeatureSet::F0,
+        FeatureSet::F1,
+        FeatureSet::F2,
+        FeatureSet::F3,
+        FeatureSet::F4,
+    ];
+
+    /// The features of this set, in a fixed order.
+    pub fn features(self) -> Vec<FeatureDef> {
+        use Metric::*;
+        match self {
+            FeatureSet::F0 => Metric::ALL.iter().map(|&m| FeatureDef::mean(m)).collect(),
+            FeatureSet::F1 => [
+                ExecutionTime,
+                UserCpuTime,
+                SystemCpuTime,
+                VolContextSwitches,
+                InvolContextSwitches,
+                FileSystemReads,
+                FileSystemWrites,
+                HeapUsed,
+                TotalHeap,
+                BytesReceived,
+                BytesTransmitted,
+                PackagesReceived,
+                MaxEventLoopLag,
+            ]
+            .iter()
+            .map(|&m| FeatureDef::mean(m))
+            .collect(),
+            FeatureSet::F2 => {
+                let mut f = FeatureSet::F1.features();
+                for m in [
+                    UserCpuTime,
+                    SystemCpuTime,
+                    VolContextSwitches,
+                    InvolContextSwitches,
+                    FileSystemReads,
+                    FileSystemWrites,
+                    BytesReceived,
+                    BytesTransmitted,
+                ] {
+                    f.push(FeatureDef::per_second(m));
+                }
+                f
+            }
+            FeatureSet::F3 => vec![
+                FeatureDef::per_second(UserCpuTime),
+                FeatureDef::per_second(SystemCpuTime),
+                FeatureDef::per_second(VolContextSwitches),
+                FeatureDef::per_second(FileSystemWrites),
+                FeatureDef::per_second(BytesReceived),
+                FeatureDef::mean(HeapUsed),
+                FeatureDef::mean(UserCpuTime),
+                FeatureDef::mean(SystemCpuTime),
+                FeatureDef::mean(VolContextSwitches),
+                FeatureDef::mean(FileSystemWrites),
+                FeatureDef::mean(BytesReceived),
+            ],
+            FeatureSet::F4 => vec![
+                FeatureDef::per_second(UserCpuTime),
+                FeatureDef::per_second(SystemCpuTime),
+                FeatureDef::per_second(VolContextSwitches),
+                FeatureDef::per_second(FileSystemWrites),
+                FeatureDef::per_second(BytesReceived),
+                FeatureDef::mean(HeapUsed),
+                FeatureDef::mean(UserCpuTime),
+                FeatureDef::mean(VolContextSwitches),
+                FeatureDef::mean(BytesReceived),
+                FeatureDef::cv(UserCpuTime),
+                FeatureDef::std(BytesReceived),
+            ],
+        }
+    }
+
+    /// Number of features in this set.
+    pub fn dim(self) -> usize {
+        self.features().len()
+    }
+
+    /// Extracts this set's feature vector from a metric vector.
+    pub fn extract(self, mv: &MetricVector) -> Vec<f64> {
+        self.features().iter().map(|f| f.value(mv)).collect()
+    }
+
+    /// The distinct base metrics this set requires monitoring.
+    pub fn required_metrics(self) -> Vec<Metric> {
+        let mut metrics: Vec<Metric> = self.features().iter().map(|f| f.metric).collect();
+        metrics.sort();
+        metrics.dedup();
+        metrics
+    }
+}
+
+/// The full candidate catalog for sequential forward selection experiments:
+/// all means (round 1), plus all per-second rates (round 2), plus std/cv of
+/// the F3 metrics (round 3).
+pub fn sfs_candidates() -> Vec<FeatureDef> {
+    let mut out: Vec<FeatureDef> = Metric::ALL.iter().map(|&m| FeatureDef::mean(m)).collect();
+    for &m in Metric::ALL.iter() {
+        if m != Metric::ExecutionTime {
+            out.push(FeatureDef::per_second(m));
+        }
+    }
+    for f in FeatureSet::F3.features() {
+        for extra in [FeatureDef::std(f.metric), FeatureDef::cv(f.metric)] {
+            if !out.contains(&extra) {
+                out.push(extra);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_telemetry::{InvocationSample, METRIC_COUNT};
+
+    fn mv(exec_ms: f64, user_cpu: f64) -> MetricVector {
+        let mut values = [0.0; METRIC_COUNT];
+        values[Metric::ExecutionTime.index()] = exec_ms;
+        values[Metric::UserCpuTime.index()] = user_cpu;
+        values[Metric::HeapUsed.index()] = 42.0;
+        let s1 = InvocationSample { at_ms: 0.0, values };
+        let mut values2 = values;
+        values2[Metric::UserCpuTime.index()] = user_cpu * 1.5;
+        let s2 = InvocationSample {
+            at_ms: 1.0,
+            values: values2,
+        };
+        MetricVector::from_samples([s1, s2].iter())
+    }
+
+    #[test]
+    fn set_sizes_match_the_paper() {
+        assert_eq!(FeatureSet::F0.dim(), 25);
+        assert_eq!(FeatureSet::F1.dim(), 13);
+        assert_eq!(FeatureSet::F2.dim(), 21);
+        assert_eq!(FeatureSet::F3.dim(), 11);
+        assert_eq!(FeatureSet::F4.dim(), 11);
+    }
+
+    #[test]
+    fn f4_uses_only_the_six_base_metrics_of_the_paper() {
+        let required = FeatureSet::F4.required_metrics();
+        assert_eq!(
+            required,
+            vec![
+                Metric::UserCpuTime,
+                Metric::SystemCpuTime,
+                Metric::VolContextSwitches,
+                Metric::FileSystemWrites,
+                Metric::HeapUsed,
+                Metric::BytesReceived,
+            ]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+        );
+        assert_eq!(required.len(), 6);
+    }
+
+    #[test]
+    fn per_second_features_normalize_by_execution_time() {
+        let v = mv(2000.0, 100.0); // 2 s execution, mean user CPU 125 ms
+        let f = FeatureDef::per_second(Metric::UserCpuTime);
+        assert!((f.value(&v) - 125.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_cv_features() {
+        let v = mv(1000.0, 100.0); // user cpu samples: 100, 150
+        assert_eq!(FeatureDef::mean(Metric::UserCpuTime).value(&v), 125.0);
+        assert_eq!(FeatureDef::std(Metric::UserCpuTime).value(&v), 25.0);
+        assert!((FeatureDef::cv(Metric::UserCpuTime).value(&v) - 0.2).abs() < 1e-12);
+        assert_eq!(FeatureDef::mean(Metric::HeapUsed).value(&v), 42.0);
+    }
+
+    #[test]
+    fn extract_matches_feature_list() {
+        let v = mv(1000.0, 100.0);
+        let set = FeatureSet::F4;
+        let values = set.extract(&v);
+        let features = set.features();
+        assert_eq!(values.len(), features.len());
+        for (value, feat) in values.iter().zip(&features) {
+            assert_eq!(*value, feat.value(&v), "{feat}");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct_within_each_set() {
+        for set in FeatureSet::ALL {
+            let names: std::collections::BTreeSet<String> =
+                set.features().iter().map(|f| f.name()).collect();
+            assert_eq!(names.len(), set.dim(), "{set:?} has duplicate features");
+        }
+    }
+
+    #[test]
+    fn sfs_catalog_is_large_and_distinct() {
+        let cands = sfs_candidates();
+        let names: std::collections::BTreeSet<String> =
+            cands.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), cands.len());
+        assert!(cands.len() > 50, "len={}", cands.len());
+    }
+
+    #[test]
+    fn per_second_name_format() {
+        assert_eq!(
+            FeatureDef::per_second(Metric::VolContextSwitches).name(),
+            "vol_context_switches/s"
+        );
+        assert_eq!(FeatureDef::cv(Metric::HeapUsed).name(), "heap_used_cv");
+    }
+}

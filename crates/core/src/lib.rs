@@ -1,0 +1,60 @@
+//! The Sizeless approach: predicting the optimal memory size of serverless
+//! functions from monitoring data of a **single** memory size.
+//!
+//! This crate ties the substrates together into the paper's pipeline
+//! (Figure 2):
+//!
+//! 1. **Offline phase** — [`dataset`] drives the synthetic function
+//!    generator through the measurement harness at all six memory sizes and
+//!    collects a [`TrainingDataset`];
+//!    [`features`] turns the monitored metric vectors into the feature sets
+//!    F0–F4 of Section 3.4; [`model`] trains one multi-target regression
+//!    network per base memory size that predicts execution-time *ratios*
+//!    for the five unseen sizes.
+//! 2. **Online phase** — given production monitoring data for one memory
+//!    size, [`model::SizelessModel::predict`] yields execution times for
+//!    all sizes and [`optimizer`] applies the cost/performance tradeoff
+//!    (Section 3.5) to recommend a size.
+//!
+//! [`pipeline`] packages both phases behind one façade.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use sizeless_core::pipeline::{PipelineConfig, SizelessPipeline};
+//! use sizeless_core::optimizer::Tradeoff;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = PipelineConfig::default();
+//! cfg.dataset.function_count = 200; // small demo run
+//! let pipeline = SizelessPipeline::train(&cfg)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod dataset;
+pub mod drift;
+pub mod error;
+pub mod export;
+pub mod features;
+pub mod interpolate;
+pub mod model;
+pub mod optimizer;
+pub mod pipeline;
+pub mod report;
+
+pub use baselines::{BaselineOutcome, CoseOptimizer, PowerTuning};
+pub use dataset::{DatasetConfig, FunctionRecord, TrainingDataset};
+pub use error::CoreError;
+pub use drift::{detect_drift, DriftConfig, DriftReport};
+pub use export::export_csv;
+pub use features::{FeatureDef, FeatureKind, FeatureSet};
+pub use interpolate::{optimize_full_grid, TimeInterpolant};
+pub use model::{PredictedTimes, SizelessModel};
+pub use optimizer::{MemoryOptimizer, OptimizationOutcome, Tradeoff};
+pub use pipeline::{PipelineConfig, Recommendation, SizelessPipeline};
+pub use report::render_report;

@@ -1,0 +1,318 @@
+//! Memory-size optimization — the paper's Section 3.5.
+//!
+//! Cost and performance are normalized per function:
+//! `S_cost(m) = cost(m) / min cost`, `S_perf(m) = time(m) / min time`, both
+//! ≥ 1 with 1 meaning "optimal". A tradeoff `t ∈ [0, 1]` blends them:
+//! `S_total(m) = t·S_cost(m) + (1−t)·S_perf(m)`, and the recommended size is
+//! the argmin of `S_total` over the six standard sizes.
+
+use crate::model::PredictedTimes;
+use serde::{Deserialize, Serialize};
+use sizeless_platform::{MemorySize, PricingModel};
+use std::collections::BTreeMap;
+
+/// A validated cost/performance tradeoff parameter.
+///
+/// `t = 0.75` prioritizes cost (the paper's recommended setting), `t = 0.5`
+/// is neutral, `t = 0.25` prioritizes performance.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Tradeoff(f64);
+
+impl Tradeoff {
+    /// The paper's cost-leaning recommendation.
+    pub const COST_LEANING: Tradeoff = Tradeoff(0.75);
+    /// The neutral setting.
+    pub const BALANCED: Tradeoff = Tradeoff(0.5);
+    /// The performance-leaning setting.
+    pub const PERF_LEANING: Tradeoff = Tradeoff(0.25);
+
+    /// Creates a tradeoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `t ∈ [0, 1]`.
+    pub fn new(t: f64) -> Option<Self> {
+        ((0.0..=1.0).contains(&t)).then_some(Tradeoff(t))
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Tradeoff {
+    fn default() -> Self {
+        Tradeoff::COST_LEANING
+    }
+}
+
+/// Scores for one memory size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeScores {
+    /// The memory size scored.
+    pub memory: MemorySize,
+    /// Execution time used, ms.
+    pub time_ms: f64,
+    /// Cost per execution, USD.
+    pub cost_usd: f64,
+    /// `cost / min_cost` (≥ 1).
+    pub s_cost: f64,
+    /// `time / min_time` (≥ 1).
+    pub s_perf: f64,
+    /// Blended total score.
+    pub s_total: f64,
+}
+
+/// The optimizer's decision for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationOutcome {
+    /// The recommended memory size (argmin of `s_total`).
+    pub chosen: MemorySize,
+    /// Scores of every candidate size, ascending by memory.
+    pub scores: Vec<SizeScores>,
+    /// Tradeoff used.
+    pub tradeoff: f64,
+}
+
+impl OptimizationOutcome {
+    /// The scores of a particular size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` was not among the candidates.
+    pub fn scores_for(&self, m: MemorySize) -> &SizeScores {
+        self.scores
+            .iter()
+            .find(|s| s.memory == m)
+            .expect("size was a candidate")
+    }
+
+    /// Candidate sizes ranked by ascending `s_total` (best first).
+    pub fn ranking(&self) -> Vec<MemorySize> {
+        let mut sorted: Vec<&SizeScores> = self.scores.iter().collect();
+        sorted.sort_by(|a, b| a.s_total.partial_cmp(&b.s_total).expect("scores not NaN"));
+        sorted.iter().map(|s| s.memory).collect()
+    }
+
+    /// The rank (0 = best) of a size under this outcome's scoring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` was not among the candidates.
+    pub fn rank_of(&self, m: MemorySize) -> usize {
+        self.ranking()
+            .iter()
+            .position(|&x| x == m)
+            .expect("size was a candidate")
+    }
+}
+
+/// The memory-size optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryOptimizer {
+    pricing: PricingModel,
+    tradeoff: Tradeoff,
+}
+
+impl MemoryOptimizer {
+    /// Creates an optimizer with a pricing model and tradeoff.
+    pub fn new(pricing: PricingModel, tradeoff: Tradeoff) -> Self {
+        MemoryOptimizer { pricing, tradeoff }
+    }
+
+    /// The configured tradeoff.
+    pub fn tradeoff(&self) -> Tradeoff {
+        self.tradeoff
+    }
+
+    /// Optimizes over explicit `(size → execution time)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times_ms` is empty or contains non-positive times.
+    pub fn optimize_times(&self, times_ms: &BTreeMap<MemorySize, f64>) -> OptimizationOutcome {
+        assert!(!times_ms.is_empty(), "no candidate sizes");
+        let costs: BTreeMap<MemorySize, f64> = times_ms
+            .iter()
+            .map(|(&m, &t)| {
+                assert!(t > 0.0, "execution time must be positive");
+                (m, self.pricing.cost_usd(t, m))
+            })
+            .collect();
+        let min_time = times_ms.values().cloned().fold(f64::INFINITY, f64::min);
+        let min_cost = costs.values().cloned().fold(f64::INFINITY, f64::min);
+        let t = self.tradeoff.value();
+
+        let scores: Vec<SizeScores> = times_ms
+            .iter()
+            .map(|(&m, &time)| {
+                let cost = costs[&m];
+                let s_cost = cost / min_cost;
+                let s_perf = time / min_time;
+                SizeScores {
+                    memory: m,
+                    time_ms: time,
+                    cost_usd: cost,
+                    s_cost,
+                    s_perf,
+                    s_total: t * s_cost + (1.0 - t) * s_perf,
+                }
+            })
+            .collect();
+
+        let chosen = scores
+            .iter()
+            .min_by(|a, b| a.s_total.partial_cmp(&b.s_total).expect("scores not NaN"))
+            .expect("non-empty scores")
+            .memory;
+
+        OptimizationOutcome {
+            chosen,
+            scores,
+            tradeoff: t,
+        }
+    }
+
+    /// Optimizes from model predictions.
+    pub fn optimize(&self, predicted: &PredictedTimes) -> OptimizationOutcome {
+        self.optimize_times(predicted.as_map())
+    }
+}
+
+impl Default for MemoryOptimizer {
+    fn default() -> Self {
+        MemoryOptimizer::new(PricingModel::aws(), Tradeoff::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(pairs: &[(MemorySize, f64)]) -> BTreeMap<MemorySize, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    /// A CPU-bound profile: time halves as memory doubles (up to a floor).
+    fn cpu_bound_times() -> BTreeMap<MemorySize, f64> {
+        times(&[
+            (MemorySize::MB_128, 8000.0),
+            (MemorySize::MB_256, 4000.0),
+            (MemorySize::MB_512, 2000.0),
+            (MemorySize::MB_1024, 1000.0),
+            (MemorySize::MB_2048, 520.0),
+            (MemorySize::MB_3008, 510.0),
+        ])
+    }
+
+    /// A network-bound profile: flat time.
+    fn flat_times() -> BTreeMap<MemorySize, f64> {
+        times(&[
+            (MemorySize::MB_128, 300.0),
+            (MemorySize::MB_256, 295.0),
+            (MemorySize::MB_512, 290.0),
+            (MemorySize::MB_1024, 288.0),
+            (MemorySize::MB_2048, 287.0),
+            (MemorySize::MB_3008, 286.0),
+        ])
+    }
+
+    #[test]
+    fn scores_have_minimum_one() {
+        let opt = MemoryOptimizer::default();
+        let out = opt.optimize_times(&cpu_bound_times());
+        let min_cost = out.scores.iter().map(|s| s.s_cost).fold(f64::INFINITY, f64::min);
+        let min_perf = out.scores.iter().map(|s| s.s_perf).fold(f64::INFINITY, f64::min);
+        assert!((min_cost - 1.0).abs() < 1e-12);
+        assert!((min_perf - 1.0).abs() < 1e-12);
+        for s in &out.scores {
+            assert!(s.s_cost >= 1.0 && s.s_perf >= 1.0);
+        }
+    }
+
+    #[test]
+    fn flat_function_gets_smallest_size_when_cost_matters() {
+        let opt = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::COST_LEANING);
+        let out = opt.optimize_times(&flat_times());
+        assert_eq!(out.chosen, MemorySize::MB_128);
+    }
+
+    #[test]
+    fn cpu_bound_function_gets_a_large_size() {
+        let opt = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::BALANCED);
+        let out = opt.optimize_times(&cpu_bound_times());
+        assert!(out.chosen >= MemorySize::MB_1024, "chose {}", out.chosen);
+    }
+
+    #[test]
+    fn tradeoff_shifts_the_decision_toward_performance() {
+        // Construct times where bigger is faster but pricier.
+        let t = cpu_bound_times();
+        let cost_choice = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::COST_LEANING)
+            .optimize_times(&t)
+            .chosen;
+        let perf_choice = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::PERF_LEANING)
+            .optimize_times(&t)
+            .chosen;
+        assert!(perf_choice >= cost_choice);
+    }
+
+    #[test]
+    fn extreme_tradeoffs_pick_pure_optima() {
+        let t = cpu_bound_times();
+        let pure_cost = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::new(1.0).unwrap())
+            .optimize_times(&t);
+        let pure_perf = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::new(0.0).unwrap())
+            .optimize_times(&t);
+        // t=1: cheapest size wins; t=0: fastest size wins.
+        let cheapest = pure_cost
+            .scores
+            .iter()
+            .min_by(|a, b| a.cost_usd.partial_cmp(&b.cost_usd).unwrap())
+            .unwrap()
+            .memory;
+        let fastest = pure_perf
+            .scores
+            .iter()
+            .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap())
+            .unwrap()
+            .memory;
+        assert_eq!(pure_cost.chosen, cheapest);
+        assert_eq!(pure_perf.chosen, fastest);
+    }
+
+    #[test]
+    fn ranking_is_consistent_with_chosen() {
+        let opt = MemoryOptimizer::default();
+        let out = opt.optimize_times(&cpu_bound_times());
+        assert_eq!(out.ranking()[0], out.chosen);
+        assert_eq!(out.rank_of(out.chosen), 0);
+        assert_eq!(out.ranking().len(), 6);
+    }
+
+    #[test]
+    fn tradeoff_validation() {
+        assert!(Tradeoff::new(0.0).is_some());
+        assert!(Tradeoff::new(1.0).is_some());
+        assert!(Tradeoff::new(-0.1).is_none());
+        assert!(Tradeoff::new(1.1).is_none());
+        assert_eq!(Tradeoff::default().value(), 0.75);
+    }
+
+    #[test]
+    fn scores_for_returns_requested_size() {
+        let opt = MemoryOptimizer::default();
+        let out = opt.optimize_times(&flat_times());
+        let s = out.scores_for(MemorySize::MB_512);
+        assert_eq!(s.memory, MemorySize::MB_512);
+        assert_eq!(s.time_ms, 290.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate sizes")]
+    fn empty_times_panic() {
+        let opt = MemoryOptimizer::default();
+        let _ = opt.optimize_times(&BTreeMap::new());
+    }
+}

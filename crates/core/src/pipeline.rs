@@ -1,0 +1,201 @@
+//! The end-to-end Sizeless pipeline: offline training + online
+//! recommendation (the paper's Figure 2).
+
+use crate::dataset::{DatasetConfig, TrainingDataset};
+use crate::error::CoreError;
+use crate::features::FeatureSet;
+use crate::model::{PredictedTimes, SizelessModel};
+use crate::optimizer::{MemoryOptimizer, OptimizationOutcome, Tradeoff};
+use serde::{Deserialize, Serialize};
+use sizeless_neural::NetworkConfig;
+use sizeless_platform::{MemorySize, Platform};
+use sizeless_telemetry::MetricVector;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Offline dataset generation.
+    pub dataset: DatasetConfig,
+    /// Network hyperparameters (defaults: the paper's Table 2 selection).
+    pub network: NetworkConfig,
+    /// Feature set (defaults to the final F4).
+    pub feature_set: FeatureSet,
+    /// Base memory size monitored in production (the paper recommends
+    /// 256 MB, Table 3).
+    pub base_size: MemorySize,
+    /// Cost/performance tradeoff (the paper recommends t = 0.75).
+    pub tradeoff: Tradeoff,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            dataset: DatasetConfig::paper(),
+            network: NetworkConfig::default(),
+            feature_set: FeatureSet::F4,
+            base_size: MemorySize::MB_256,
+            tradeoff: Tradeoff::COST_LEANING,
+            seed: 0,
+        }
+    }
+}
+
+/// A memory-size recommendation for one monitored function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Predicted execution times at every size.
+    pub predicted: PredictedTimes,
+    /// The optimizer's scoring and decision.
+    pub outcome: OptimizationOutcome,
+}
+
+impl Recommendation {
+    /// The recommended memory size.
+    pub fn memory_size(&self) -> MemorySize {
+        self.outcome.chosen
+    }
+}
+
+/// The trained pipeline: model + optimizer.
+#[derive(Debug, Clone)]
+pub struct SizelessPipeline {
+    model: SizelessModel,
+    optimizer: MemoryOptimizer,
+    dataset: TrainingDataset,
+}
+
+impl SizelessPipeline {
+    /// Runs the offline phase on a default (AWS-like) platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetTooSmall`] if the dataset configuration
+    /// yields too few functions.
+    pub fn train(cfg: &PipelineConfig) -> Result<Self, CoreError> {
+        Self::train_on(&Platform::aws_like(), cfg)
+    }
+
+    /// Runs the offline phase on a custom platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetTooSmall`] if the dataset configuration
+    /// yields too few functions.
+    pub fn train_on(platform: &Platform, cfg: &PipelineConfig) -> Result<Self, CoreError> {
+        let dataset = TrainingDataset::generate(platform, &cfg.dataset);
+        Self::from_dataset(platform, dataset, cfg)
+    }
+
+    /// Trains from an existing dataset (e.g. loaded from disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetTooSmall`] for datasets under ten
+    /// functions.
+    pub fn from_dataset(
+        platform: &Platform,
+        dataset: TrainingDataset,
+        cfg: &PipelineConfig,
+    ) -> Result<Self, CoreError> {
+        let model = SizelessModel::train(
+            &dataset,
+            cfg.base_size,
+            cfg.feature_set,
+            &cfg.network,
+            cfg.seed,
+        )?;
+        Ok(SizelessPipeline {
+            model,
+            optimizer: MemoryOptimizer::new(*platform.pricing(), cfg.tradeoff),
+            dataset,
+        })
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &SizelessModel {
+        &self.model
+    }
+
+    /// The optimizer.
+    pub fn optimizer(&self) -> &MemoryOptimizer {
+        &self.optimizer
+    }
+
+    /// The training dataset (for inspection or persistence).
+    pub fn dataset(&self) -> &TrainingDataset {
+        &self.dataset
+    }
+
+    /// The online phase: production monitoring data for the base size in,
+    /// memory-size recommendation out.
+    pub fn recommend(&self, metrics: &MetricVector) -> Recommendation {
+        let predicted = self.model.predict(metrics);
+        let outcome = self.optimizer.optimize(&predicted);
+        Recommendation { predicted, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_workload::{run_experiment, ExperimentConfig};
+
+    fn quick_cfg() -> PipelineConfig {
+        PipelineConfig {
+            dataset: DatasetConfig::tiny(30),
+            network: NetworkConfig {
+                hidden_layers: 2,
+                neurons: 32,
+                epochs: 80,
+                l2: 0.0001,
+                ..NetworkConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_recommendation() {
+        let platform = Platform::aws_like();
+        let pipeline = SizelessPipeline::train_on(&platform, &quick_cfg()).unwrap();
+
+        // Monitor a CPU-bound function at the base size in "production".
+        let profile = sizeless_platform::ResourceProfile::builder("prod-fn")
+            .stage(sizeless_platform::Stage::cpu("work", 120.0))
+            .build();
+        let m = run_experiment(
+            &platform,
+            &profile,
+            MemorySize::MB_256,
+            &ExperimentConfig {
+                duration_ms: 6_000.0,
+                rps: 15.0,
+                seed: 77,
+            },
+        );
+        let rec = pipeline.recommend(&m.metrics);
+        // A purely CPU-bound function should not be told to stay tiny.
+        assert!(rec.memory_size() >= MemorySize::MB_256, "{}", rec.memory_size());
+        assert_eq!(rec.predicted.base(), MemorySize::MB_256);
+        assert_eq!(rec.outcome.scores.len(), 6);
+    }
+
+    #[test]
+    fn pipeline_exposes_components() {
+        let pipeline = SizelessPipeline::train(&quick_cfg()).unwrap();
+        assert_eq!(pipeline.model().base(), MemorySize::MB_256);
+        assert_eq!(pipeline.dataset().len(), 30);
+        assert_eq!(pipeline.optimizer().tradeoff().value(), 0.75);
+    }
+
+    #[test]
+    fn default_config_matches_paper_choices() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.base_size, MemorySize::MB_256);
+        assert_eq!(cfg.feature_set, FeatureSet::F4);
+        assert_eq!(cfg.tradeoff.value(), 0.75);
+        assert_eq!(cfg.dataset.function_count, 2000);
+    }
+}

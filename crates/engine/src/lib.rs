@@ -1,0 +1,54 @@
+//! Discrete-event simulation engine underpinning the serverless platform
+//! simulator.
+//!
+//! The Sizeless paper measured real AWS Lambda; this reproduction replaces the
+//! cloud with a deterministic, seedable discrete-event simulation. This crate
+//! provides the domain-independent core:
+//!
+//! * [`time`] — virtual time ([`SimTime`], [`SimDuration`]) in milliseconds.
+//! * [`queue`] — a stable event queue ordered by `(time, sequence)`.
+//! * [`rng`] — reproducible random-number streams derived from a master seed,
+//!   so independent subsystems (arrivals, service latencies, noise) draw from
+//!   decorrelated streams and experiments replay exactly.
+//! * [`dist`] — the probability distributions used by the platform model:
+//!   exponential inter-arrival times (the paper drives functions at 30 rps
+//!   with exponentially distributed inter-arrival time), lognormal latency
+//!   noise, and friends.
+//! * [`sim`] — a minimal simulation driver for callback-style models.
+//!
+//! # Examples
+//!
+//! ```
+//! use sizeless_engine::prelude::*;
+//!
+//! let mut rng = RngStream::from_seed(42, "arrivals");
+//! let exp = Exponential::new(1.0 / 33.3).unwrap(); // ~30 rps
+//! let gap = exp.sample(&mut rng);
+//! assert!(gap > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+/// Convenient re-exports of the most used engine items.
+pub mod prelude {
+    pub use crate::dist::{
+        Deterministic, Distribution, Exponential, Gamma, LogNormal, Normal, Pareto, Uniform,
+    };
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::RngStream;
+    pub use crate::sim::Simulation;
+    pub use crate::time::{SimDuration, SimTime};
+}
+
+pub use dist::Distribution;
+pub use queue::EventQueue;
+pub use rng::RngStream;
+pub use sim::Simulation;
+pub use time::{SimDuration, SimTime};

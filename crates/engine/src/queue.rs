@@ -1,0 +1,161 @@
+//! A stable discrete-event queue.
+//!
+//! Events are popped in `(time, sequence)` order: ties on the virtual clock
+//! break in insertion order, which keeps simulations deterministic even when
+//! many events share a timestamp (e.g. simultaneous arrivals across
+//! functions).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a payload of type `T`.
+#[derive(Debug)]
+struct Scheduled<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour on BinaryHeap (a max-heap).
+        other
+            .time
+            .as_millis()
+            .partial_cmp(&self.time.as_millis())
+            .expect("SimTime is never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-priority event queue keyed by [`SimTime`].
+///
+/// # Examples
+///
+/// ```
+/// use sizeless_engine::queue::EventQueue;
+/// use sizeless_engine::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5.0), "b");
+/// q.schedule(SimTime::from_millis(1.0), "a");
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at virtual time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3.0), 3);
+        q.schedule(SimTime::from_millis(1.0), 1);
+        q.schedule(SimTime::from_millis(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(4.0), ());
+        assert_eq!(q.peek_time().unwrap().as_millis(), 4.0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10.0), "late");
+        q.schedule(SimTime::from_millis(1.0), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.schedule(SimTime::from_millis(5.0), "middle");
+        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

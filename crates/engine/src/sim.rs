@@ -1,0 +1,213 @@
+//! A minimal callback-style simulation driver.
+//!
+//! Domain models (the platform, the load harness) schedule closures on the
+//! virtual clock; [`Simulation::run_until`] executes them in deterministic
+//! order. The driver is intentionally small — most heavy lifting lives in the
+//! domain crates — but centralizing clock advancement here guarantees the
+//! "time never goes backwards" invariant everywhere.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: receives the simulation so it can schedule more events.
+type Handler<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
+
+/// A discrete-event simulation over domain state `S`.
+///
+/// # Examples
+///
+/// ```
+/// use sizeless_engine::sim::Simulation;
+/// use sizeless_engine::time::{SimDuration, SimTime};
+///
+/// let mut sim: Simulation<Vec<f64>> = Simulation::new();
+/// sim.schedule_in(SimDuration::from_millis(10.0), |sim, log| {
+///     log.push(sim.now().as_millis());
+/// });
+/// let mut log = Vec::new();
+/// sim.run_until(SimTime::from_millis(100.0), &mut log);
+/// assert_eq!(log, vec![10.0]);
+/// ```
+pub struct Simulation<S> {
+    clock: SimTime,
+    events: EventQueue<Handler<S>>,
+    executed: u64,
+}
+
+impl<S> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("clock", &self.clock)
+            .field("pending", &self.events.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation with the clock at zero.
+    pub fn new() -> Self {
+        Simulation {
+            clock: SimTime::ZERO,
+            events: EventQueue::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules `handler` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    ) {
+        assert!(
+            at >= self.clock,
+            "cannot schedule an event in the past ({at} < {})",
+            self.clock
+        );
+        self.events.schedule(at, Box::new(handler));
+    }
+
+    /// Schedules `handler` after a delay from the current clock.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    ) {
+        self.schedule_at(self.clock + delay, handler);
+    }
+
+    /// Runs events until the queue drains or the clock would pass `deadline`.
+    ///
+    /// Events scheduled exactly at the deadline still run. Returns the number
+    /// of events executed by this call.
+    pub fn run_until(&mut self, deadline: SimTime, state: &mut S) -> u64 {
+        let before = self.executed;
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, handler) = self.events.pop().expect("peeked event must exist");
+            debug_assert!(t >= self.clock, "event queue returned a past event");
+            self.clock = t;
+            handler(self, state);
+            self.executed += 1;
+        }
+        // The clock advances to the deadline even if no event lands on it.
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+        self.executed - before
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_completion(&mut self, state: &mut S) -> u64 {
+        let before = self.executed;
+        while let Some((t, handler)) = self.events.pop() {
+            self.clock = t;
+            handler(self, state);
+            self.executed += 1;
+        }
+        self.executed - before
+    }
+}
+
+impl<S> Default for Simulation<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_order_and_advance_clock() {
+        let mut sim: Simulation<Vec<f64>> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(5.0), |s, log| {
+            log.push(s.now().as_millis())
+        });
+        sim.schedule_at(SimTime::from_millis(2.0), |s, log| {
+            log.push(s.now().as_millis())
+        });
+        let mut log = Vec::new();
+        sim.run_to_completion(&mut log);
+        assert_eq!(log, vec![2.0, 5.0]);
+        assert_eq!(sim.now().as_millis(), 5.0);
+        assert_eq!(sim.executed_events(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim: Simulation<Vec<&'static str>> = Simulation::new();
+        sim.schedule_in(SimDuration::from_millis(1.0), |sim, log| {
+            log.push("first");
+            sim.schedule_in(SimDuration::from_millis(1.0), |_, log| {
+                log.push("second");
+            });
+        });
+        let mut log = Vec::new();
+        sim.run_to_completion(&mut log);
+        assert_eq!(log, vec!["first", "second"]);
+        assert_eq!(sim.now().as_millis(), 2.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 1..=10 {
+            sim.schedule_at(SimTime::from_millis(i as f64), |_, count| *count += 1);
+        }
+        let mut count = 0;
+        let ran = sim.run_until(SimTime::from_millis(4.0), &mut count);
+        assert_eq!(ran, 4);
+        assert_eq!(count, 4);
+        assert_eq!(sim.pending_events(), 6);
+        assert_eq!(sim.now().as_millis(), 4.0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_with_no_events() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.run_until(SimTime::from_millis(50.0), &mut ());
+        assert_eq!(sim.now().as_millis(), 50.0);
+    }
+
+    #[test]
+    fn deadline_inclusive() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(4.0), |_, c| *c += 1);
+        let mut c = 0;
+        sim.run_until(SimTime::from_millis(4.0), &mut c);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_past_panics() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(5.0), |_, _| {});
+        sim.run_to_completion(&mut ());
+        sim.schedule_at(SimTime::from_millis(1.0), |_, _| {});
+    }
+}

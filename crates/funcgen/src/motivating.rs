@@ -1,0 +1,177 @@
+//! The four motivating functions of the paper's Figure 1.
+//!
+//! Calibrated to reproduce the qualitative shapes reported in the paper
+//! (data originally from Casalboni's Lambda power-tuning measurements):
+//!
+//! * `InvertMatrix` — execution time halves from 128→256 MB (−49.6%) and
+//!   keeps decreasing almost linearly (single-threaded CPU, plateau only
+//!   past 1792 MB).
+//! * `PrimeNumbers` — scales super-linearly up to 2048 MB (−92.9% with
+//!   −13.3% cost) thanks to parallel computation, and keeps speeding up at
+//!   3008 MB at increased cost.
+//! * `DynamoDB` — time drops steeply until 512 MB (−86.6%) then barely
+//!   improves while cost rises (+587.5% at 3008 MB).
+//! * `API-Call` — flat execution time; more memory only adds cost.
+
+use serde::{Deserialize, Serialize};
+use sizeless_platform::{ResourceProfile, ServiceCall, ServiceKind, Stage};
+use std::fmt;
+
+/// One of the four Figure-1 functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MotivatingFunction {
+    /// Creates and inverts a random matrix.
+    InvertMatrix,
+    /// Calculates the first million primes a thousand times.
+    PrimeNumbers,
+    /// Executes three queries against a DynamoDB table.
+    DynamoDb,
+    /// Calls an external API.
+    ApiCall,
+}
+
+impl MotivatingFunction {
+    /// All four functions in Figure-1 order.
+    pub const ALL: [MotivatingFunction; 4] = [
+        MotivatingFunction::InvertMatrix,
+        MotivatingFunction::PrimeNumbers,
+        MotivatingFunction::DynamoDb,
+        MotivatingFunction::ApiCall,
+    ];
+
+    /// The calibrated resource profile.
+    pub fn profile(self) -> ResourceProfile {
+        match self {
+            MotivatingFunction::InvertMatrix => ResourceProfile::builder("InvertMatrix")
+                // ~700 ms of single-threaded linear algebra at one vCPU
+                // → ~9.8 s at 128 MB, ~4.9 s at 256 MB, ~0.7 s at ≥1792 MB.
+                .stage(
+                    Stage::cpu("invert", 700.0)
+                        .with_working_set(28.0)
+                        .with_alloc_churn(30.0),
+                )
+                .build(),
+            MotivatingFunction::PrimeNumbers => ResourceProfile::builder("PrimeNumbers")
+                // Heavy, partially parallel sieve: keeps scaling past one
+                // vCPU, matching the paper's super-linear observation.
+                .stage(Stage::cpu_parallel("sieve", 2500.0, 2.2).with_working_set(12.0))
+                .build(),
+            MotivatingFunction::DynamoDb => ResourceProfile::builder("DynamoDB")
+                // Three queries plus marshalling CPU; the 95 MB working set
+                // adds GC pressure at 128 MB, steepening the early decline.
+                .stage(
+                    Stage::service(
+                        "queries",
+                        ServiceCall::new(ServiceKind::DynamoDb, 3, 40.0),
+                    )
+                    .with_cpu(10.0, 1.0)
+                    .with_working_set(55.0),
+                )
+                .build(),
+            MotivatingFunction::ApiCall => ResourceProfile::builder("API-Call")
+                // Slow external HTTP calls dominate at every size.
+                .stage(
+                    Stage::service(
+                        "api",
+                        ServiceCall::new(ServiceKind::ExternalApi, 3, 4.0),
+                    )
+                    .with_cpu(2.0, 1.0)
+                    .with_working_set(2.0),
+                )
+                .build(),
+        }
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MotivatingFunction::InvertMatrix => "InvertMatrix",
+            MotivatingFunction::PrimeNumbers => "PrimeNumbers",
+            MotivatingFunction::DynamoDb => "DynamoDB",
+            MotivatingFunction::ApiCall => "API-Call",
+        }
+    }
+}
+
+impl fmt::Display for MotivatingFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::{MemorySize, Platform};
+
+    fn durations(f: MotivatingFunction) -> Vec<f64> {
+        let p = Platform::aws_like();
+        let profile = f.profile();
+        MemorySize::STANDARD
+            .iter()
+            .map(|&m| p.expected_duration_ms(&profile, m))
+            .collect()
+    }
+
+    #[test]
+    fn invert_matrix_halves_from_128_to_256() {
+        let d = durations(MotivatingFunction::InvertMatrix);
+        let drop = 1.0 - d[1] / d[0];
+        assert!((drop - 0.496).abs() < 0.05, "drop={drop}");
+    }
+
+    #[test]
+    fn prime_numbers_speedup_at_2048_exceeds_90_percent() {
+        let d = durations(MotivatingFunction::PrimeNumbers);
+        let drop = 1.0 - d[4] / d[0]; // 2048 vs 128
+        assert!(drop > 0.9, "drop={drop}");
+        // And 3008 is faster still (parallel work keeps scaling).
+        assert!(d[5] < d[4]);
+    }
+
+    #[test]
+    fn dynamodb_flattens_after_512() {
+        let d = durations(MotivatingFunction::DynamoDb);
+        let early_drop = 1.0 - d[2] / d[0]; // 512 vs 128
+        assert!(early_drop > 0.7, "early_drop={early_drop}");
+        // The decline per memory doubling collapses after 512 MB.
+        let late_drop = 1.0 - d[5] / d[2]; // 3008 vs 512
+        assert!(late_drop < 0.65, "late_drop={late_drop}");
+        assert!(early_drop > late_drop);
+    }
+
+    #[test]
+    fn api_call_is_flat() {
+        let d = durations(MotivatingFunction::ApiCall);
+        let drop = 1.0 - d[5] / d[0];
+        assert!(drop.abs() < 0.15, "drop={drop}");
+    }
+
+    #[test]
+    fn api_call_cost_rises_with_memory() {
+        let p = Platform::aws_like();
+        let profile = MotivatingFunction::ApiCall.profile();
+        let c128 = p.expected_cost_usd(&profile, MemorySize::MB_128);
+        let c3008 = p.expected_cost_usd(&profile, MemorySize::MB_3008);
+        assert!(c3008 > 5.0 * c128, "flat time → cost scales with memory");
+    }
+
+    #[test]
+    fn prime_numbers_is_cheaper_at_2048_than_128() {
+        // The paper's headline: 92.9% faster AND 13.3% cheaper.
+        let p = Platform::aws_like();
+        let profile = MotivatingFunction::PrimeNumbers.profile();
+        let c128 = p.expected_cost_usd(&profile, MemorySize::MB_128);
+        let c2048 = p.expected_cost_usd(&profile, MemorySize::MB_2048);
+        assert!(c2048 < c128, "c128={c128} c2048={c2048}");
+    }
+
+    #[test]
+    fn names_match_figure_1() {
+        let names: Vec<&str> = MotivatingFunction::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec!["InvertMatrix", "PrimeNumbers", "DynamoDB", "API-Call"]
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! The sixteen representative function segments.
+//!
+//! Each segment is "the smallest granularity of a common task in serverless
+//! functions" (paper, Section 3.1) and comes with its own inputs — here,
+//! parameter ranges sampled at generation time, so two functions using the
+//! same segment still differ. The mix covers the survey-derived task classes:
+//! CPU-intensive work, image manipulation, format conversion, data
+//! compression, file interaction, and external-service interaction.
+
+use serde::{Deserialize, Serialize};
+use sizeless_engine::RngStream;
+use sizeless_platform::{ServiceCall, ServiceKind, Stage};
+use std::fmt;
+
+/// One of the sixteen segment types.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[non_exhaustive]
+pub enum SegmentKind {
+    /// Create and invert a random matrix (single-threaded CPU, working set
+    /// grows with matrix size) — like the paper's `InvertMatrix`.
+    MatrixInversion,
+    /// Compute prime numbers with worker threads (parallel CPU) — like the
+    /// paper's `PrimeNumbers`, which scales super-linearly.
+    PrimeNumbers,
+    /// Naive recursive Fibonacci (single-threaded CPU, tiny working set).
+    Fibonacci,
+    /// Resize an image (libuv-pool codec: parallel CPU + file read).
+    ImageResize,
+    /// Grayscale an image (lighter parallel CPU + file read).
+    ImageGrayscale,
+    /// zlib-compress a buffer (parallel CPU + file I/O + churn).
+    Compression,
+    /// Transform a JSON document (single CPU, allocation churn).
+    JsonTransform,
+    /// Convert CSV to JSON (single CPU + file read + churn).
+    CsvToJson,
+    /// PBKDF2/hash computation (libuv pool: highly parallel CPU).
+    CryptoHash,
+    /// Regex extraction over text (single CPU, working set).
+    RegexExtract,
+    /// Read a file from scratch space (I/O read).
+    FileRead,
+    /// Write a file to scratch space (I/O write).
+    FileWrite,
+    /// Query a DynamoDB table (service calls, small payloads).
+    DynamoDbQuery,
+    /// Download an object from S3 (service call, large payload).
+    S3Read,
+    /// Upload an object to S3 (service call, large payload).
+    S3Write,
+    /// Call an external HTTP API (slow, memory-insensitive).
+    ExternalApiCall,
+}
+
+impl SegmentKind {
+    /// All sixteen segments.
+    pub const ALL: [SegmentKind; 16] = [
+        SegmentKind::MatrixInversion,
+        SegmentKind::PrimeNumbers,
+        SegmentKind::Fibonacci,
+        SegmentKind::ImageResize,
+        SegmentKind::ImageGrayscale,
+        SegmentKind::Compression,
+        SegmentKind::JsonTransform,
+        SegmentKind::CsvToJson,
+        SegmentKind::CryptoHash,
+        SegmentKind::RegexExtract,
+        SegmentKind::FileRead,
+        SegmentKind::FileWrite,
+        SegmentKind::DynamoDbQuery,
+        SegmentKind::S3Read,
+        SegmentKind::S3Write,
+        SegmentKind::ExternalApiCall,
+    ];
+
+    /// Short name used in labels and hashes.
+    pub fn name(self) -> &'static str {
+        use SegmentKind::*;
+        match self {
+            MatrixInversion => "matrix_inversion",
+            PrimeNumbers => "prime_numbers",
+            Fibonacci => "fibonacci",
+            ImageResize => "image_resize",
+            ImageGrayscale => "image_grayscale",
+            Compression => "compression",
+            JsonTransform => "json_transform",
+            CsvToJson => "csv_to_json",
+            CryptoHash => "crypto_hash",
+            RegexExtract => "regex_extract",
+            FileRead => "file_read",
+            FileWrite => "file_write",
+            DynamoDbQuery => "dynamodb_query",
+            S3Read => "s3_read",
+            S3Write => "s3_write",
+            ExternalApiCall => "external_api_call",
+        }
+    }
+
+    /// The managed service this segment calls, if any. Note the set is
+    /// deliberately small — the case-study apps use services (Rekognition,
+    /// Aurora, SQS, Kinesis, SNS, Step Functions) that *never* appear here,
+    /// preserving the paper's synthetic→realistic transfer gap.
+    pub fn service(self) -> Option<ServiceKind> {
+        use SegmentKind::*;
+        match self {
+            DynamoDbQuery => Some(ServiceKind::DynamoDb),
+            S3Read | S3Write => Some(ServiceKind::S3),
+            ExternalApiCall => Some(ServiceKind::ExternalApi),
+            _ => None,
+        }
+    }
+
+    /// Samples a parameterized stage for this segment.
+    ///
+    /// Parameter ranges are wide enough that functions built from the same
+    /// segments still cover a spread of resource-consumption profiles.
+    pub fn sample_stage(self, rng: &mut RngStream) -> Stage {
+        use SegmentKind::*;
+        match self {
+            MatrixInversion => {
+                // Matrix dimension 100..=700 → CPU grows ~n³, memory ~n².
+                let n = rng.uniform(100.0, 700.0);
+                let cpu_ms = 2.0 + (n / 100.0).powi(3) * 1.4;
+                let ws_mb = (n * n * 8.0 * 3.0) / 1.0e6; // three n×n f64 buffers
+                Stage::cpu(self.name(), cpu_ms)
+                    .with_working_set(ws_mb)
+                    .with_alloc_churn(ws_mb * 0.6)
+            }
+            PrimeNumbers => {
+                let limit_k = rng.uniform(50.0, 1200.0); // primes up to N·1000
+                let cpu_ms = limit_k * 0.9;
+                let par = rng.uniform(1.6, 2.6);
+                Stage::cpu_parallel(self.name(), cpu_ms, par).with_working_set(4.0)
+            }
+            Fibonacci => {
+                let cpu_ms = rng.uniform(5.0, 400.0);
+                Stage::cpu(self.name(), cpu_ms).with_working_set(1.0)
+            }
+            ImageResize => {
+                let image_kb = rng.uniform(200.0, 4000.0);
+                let cpu_ms = image_kb * 0.06;
+                Stage::file_io(self.name(), image_kb, image_kb * 0.4)
+                    .with_cpu(cpu_ms, rng.uniform(2.2, 3.4))
+                    .with_working_set(image_kb / 1024.0 * 6.0)
+                    .with_alloc_churn(image_kb / 1024.0 * 3.0)
+            }
+            ImageGrayscale => {
+                let image_kb = rng.uniform(200.0, 3000.0);
+                let cpu_ms = image_kb * 0.025;
+                Stage::file_io(self.name(), image_kb, image_kb * 0.9)
+                    .with_cpu(cpu_ms, rng.uniform(1.8, 2.8))
+                    .with_working_set(image_kb / 1024.0 * 4.0)
+            }
+            Compression => {
+                let data_kb = rng.uniform(500.0, 8000.0);
+                let cpu_ms = data_kb * 0.035;
+                Stage::file_io(self.name(), data_kb, data_kb * 0.3)
+                    .with_cpu(cpu_ms, rng.uniform(1.7, 2.4))
+                    .with_working_set(data_kb / 1024.0 * 2.0)
+                    .with_alloc_churn(data_kb / 1024.0)
+            }
+            JsonTransform => {
+                let doc_mb = rng.uniform(0.2, 12.0);
+                let cpu_ms = doc_mb * 9.0;
+                Stage::cpu(self.name(), cpu_ms)
+                    .with_working_set(doc_mb * 3.5)
+                    .with_alloc_churn(doc_mb * 5.0)
+            }
+            CsvToJson => {
+                let csv_kb = rng.uniform(100.0, 6000.0);
+                let cpu_ms = csv_kb * 0.012;
+                Stage::file_io(self.name(), csv_kb, 0.0)
+                    .with_cpu(cpu_ms, 1.0)
+                    .with_working_set(csv_kb / 1024.0 * 4.0)
+                    .with_alloc_churn(csv_kb / 1024.0 * 2.0)
+            }
+            CryptoHash => {
+                let iterations = rng.uniform(20.0, 600.0);
+                let cpu_ms = iterations * 0.8;
+                Stage::cpu_parallel(self.name(), cpu_ms, rng.uniform(2.8, 4.0))
+                    .with_working_set(2.0)
+            }
+            RegexExtract => {
+                let text_mb = rng.uniform(0.5, 20.0);
+                let cpu_ms = text_mb * 6.0;
+                Stage::cpu(self.name(), cpu_ms).with_working_set(text_mb * 1.8)
+            }
+            FileRead => {
+                let kb = rng.uniform(256.0, 20_000.0);
+                Stage::file_io(self.name(), kb, 0.0)
+                    .with_cpu(kb * 0.0015, 1.0)
+                    .with_working_set(kb / 1024.0)
+            }
+            FileWrite => {
+                let kb = rng.uniform(256.0, 16_000.0);
+                Stage::file_io(self.name(), 0.0, kb)
+                    .with_cpu(kb * 0.001, 1.0)
+                    .with_working_set(kb / 1024.0 * 0.5)
+            }
+            DynamoDbQuery => {
+                let calls = rng.int_range(1, 6) as u32;
+                let payload_kb = rng.uniform(0.5, 60.0);
+                Stage::service(
+                    self.name(),
+                    ServiceCall::new(ServiceKind::DynamoDb, calls, payload_kb),
+                )
+                .with_cpu(rng.uniform(1.0, 8.0), 1.0)
+                .with_working_set(1.0)
+            }
+            S3Read => {
+                let payload_kb = rng.uniform(100.0, 20_000.0);
+                Stage::service(
+                    self.name(),
+                    ServiceCall::new(ServiceKind::S3, 1, payload_kb),
+                )
+                .with_cpu(payload_kb * 0.0008, 1.0)
+                .with_working_set(payload_kb / 1024.0)
+            }
+            S3Write => {
+                let payload_kb = rng.uniform(100.0, 12_000.0);
+                Stage::service(
+                    self.name(),
+                    ServiceCall::new(ServiceKind::S3, 1, payload_kb),
+                )
+                .with_cpu(payload_kb * 0.0006, 1.0)
+                .with_working_set(payload_kb / 1024.0 * 0.6)
+            }
+            ExternalApiCall => {
+                let calls = rng.int_range(1, 3) as u32;
+                let payload_kb = rng.uniform(0.5, 40.0);
+                Stage::service(
+                    self.name(),
+                    ServiceCall::new(ServiceKind::ExternalApi, calls, payload_kb),
+                )
+                .with_cpu(rng.uniform(0.5, 4.0), 1.0)
+                .with_working_set(0.5)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_sixteen_distinct_segments() {
+        assert_eq!(SegmentKind::ALL.len(), 16);
+        let names: std::collections::BTreeSet<&str> =
+            SegmentKind::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn stages_are_well_formed() {
+        let mut rng = RngStream::from_seed(1, "seg");
+        for kind in SegmentKind::ALL {
+            for _ in 0..50 {
+                let s = kind.sample_stage(&mut rng);
+                assert!(s.cpu_ms >= 0.0, "{kind}");
+                assert!(s.parallelism >= 1.0, "{kind}");
+                assert!(s.working_set_mb >= 0.0, "{kind}");
+                assert!(s.io_read_kb >= 0.0 && s.io_write_kb >= 0.0, "{kind}");
+                assert_eq!(s.label, kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parameters_vary_between_samples() {
+        let mut rng = RngStream::from_seed(2, "seg-vary");
+        let a = SegmentKind::MatrixInversion.sample_stage(&mut rng);
+        let b = SegmentKind::MatrixInversion.sample_stage(&mut rng);
+        assert_ne!(a.cpu_ms, b.cpu_ms);
+    }
+
+    #[test]
+    fn service_segments_declare_their_service() {
+        assert_eq!(
+            SegmentKind::DynamoDbQuery.service(),
+            Some(ServiceKind::DynamoDb)
+        );
+        assert_eq!(SegmentKind::S3Read.service(), Some(ServiceKind::S3));
+        assert_eq!(SegmentKind::Fibonacci.service(), None);
+    }
+
+    #[test]
+    fn training_segments_never_use_case_study_only_services() {
+        let forbidden = [
+            ServiceKind::Rekognition,
+            ServiceKind::Aurora,
+            ServiceKind::Sqs,
+            ServiceKind::Kinesis,
+            ServiceKind::Sns,
+            ServiceKind::StepFunctions,
+        ];
+        for kind in SegmentKind::ALL {
+            if let Some(svc) = kind.service() {
+                assert!(!forbidden.contains(&svc), "{kind} uses {svc}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_segments_have_cpu_service_segments_have_calls() {
+        let mut rng = RngStream::from_seed(3, "seg-shape");
+        let cpu = SegmentKind::Fibonacci.sample_stage(&mut rng);
+        assert!(cpu.cpu_ms > 0.0);
+        assert!(cpu.service_calls.is_empty());
+        let svc = SegmentKind::DynamoDbQuery.sample_stage(&mut rng);
+        assert!(!svc.service_calls.is_empty());
+    }
+
+    #[test]
+    fn parallel_segments_exceed_single_thread() {
+        let mut rng = RngStream::from_seed(4, "seg-par");
+        let p = SegmentKind::CryptoHash.sample_stage(&mut rng);
+        assert!(p.parallelism > 2.0);
+        let s = SegmentKind::RegexExtract.sample_stage(&mut rng);
+        assert_eq!(s.parallelism, 1.0);
+    }
+}

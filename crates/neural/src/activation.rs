@@ -1,0 +1,62 @@
+//! Activation functions.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit (hidden layers).
+    Relu,
+    /// Identity (the regression output layer).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn forward_inplace(self, m: &mut Matrix) {
+        match self {
+            Activation::Relu => m.map_inplace(|v| if v > 0.0 { v } else { 0.0 }),
+            Activation::Linear => {}
+        }
+    }
+
+    /// The derivative evaluated at the *pre-activation* values.
+    pub fn derivative(self, pre_activation: &Matrix) -> Matrix {
+        let mut d = pre_activation.clone();
+        match self {
+            Activation::Relu => d.map_inplace(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Linear => d.map_inplace(|_| 1.0),
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        Activation::Relu.forward_inplace(&mut m);
+        assert_eq!(m.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_derivative_is_step() {
+        let m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let d = Activation::Relu.derivative(&m);
+        assert_eq!(d.row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        let mut m = Matrix::from_rows(&[&[-3.0, 4.0]]);
+        let before = m.clone();
+        Activation::Linear.forward_inplace(&mut m);
+        assert_eq!(m, before);
+        let d = Activation::Linear.derivative(&m);
+        assert_eq!(d.row(0), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! A dense (fully connected) layer with cached activations for
+//! backpropagation.
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::optimizer::{OptimizerKind, OptimizerState};
+use sizeless_engine::RngStream;
+
+/// A dense layer `a = act(x·W + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weights: Matrix, // input_dim × output_dim
+    bias: Vec<f64>,
+    activation: Activation,
+    w_state: OptimizerState,
+    b_state: OptimizerState,
+    cached_input: Option<Matrix>,
+    cached_pre: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a He-initialized layer.
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        optimizer: OptimizerKind,
+        rng: &mut RngStream,
+    ) -> Self {
+        Dense {
+            weights: Matrix::he_init(input_dim, output_dim, rng),
+            bias: vec![0.0; output_dim],
+            activation,
+            w_state: optimizer.state(input_dim * output_dim),
+            b_state: optimizer.state(output_dim),
+            cached_input: None,
+            cached_pre: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The weight matrix (for inspection and tests).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Forward pass. With `train`, caches intermediates for [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut z = x.matmul(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        if train {
+            self.cached_input = Some(x.clone());
+            self.cached_pre = Some(z.clone());
+        }
+        self.activation.forward_inplace(&mut z);
+        z
+    }
+
+    /// Backward pass: consumes the cached forward state, applies the
+    /// optimizer update (with L2 on weights, not biases), and returns the
+    /// gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Matrix, l2: f64) -> Matrix {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward requires a training-mode forward pass");
+        let pre = self
+            .cached_pre
+            .take()
+            .expect("backward requires a training-mode forward pass");
+
+        // δ = grad_output ⊙ act'(z)
+        let mut delta = grad_output.clone();
+        delta.hadamard_inplace(&self.activation.derivative(&pre));
+
+        // Parameter gradients. L2 matches the Keras convention: the penalty
+        // λ‖W‖² is added per batch, contributing 2λW to the gradient.
+        let mut d_w = x.transpose().matmul(&delta);
+        if l2 > 0.0 {
+            d_w.add_scaled(&self.weights, 2.0 * l2);
+        }
+        let d_b = delta.column_sums();
+
+        let grad_input = delta.matmul(&self.weights.transpose());
+
+        self.w_state.step(self.weights.data_mut(), d_w.data());
+        self.b_state.step(&mut self.bias, &d_b);
+
+        grad_input
+    }
+
+    /// Gradients only, without updating parameters (used by tests for
+    /// finite-difference checks).
+    pub fn gradients(&self, grad_output: &Matrix) -> (Matrix, Vec<f64>) {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("gradients require a training-mode forward pass");
+        let pre = self
+            .cached_pre
+            .as_ref()
+            .expect("gradients require a training-mode forward pass");
+        let mut delta = grad_output.clone();
+        delta.hadamard_inplace(&self.activation.derivative(pre));
+        (x.transpose().matmul(&delta), delta.column_sums())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+
+    fn rng() -> RngStream {
+        RngStream::from_seed(11, "layer-test")
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 5, Activation::Relu, OptimizerKind::Sgd { lr: 0.1 }, &mut r);
+        let x = Matrix::zeros(4, 3);
+        let y = layer.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (4, 5));
+        assert_eq!(layer.input_dim(), 3);
+        assert_eq!(layer.output_dim(), 5);
+    }
+
+    /// End-to-end gradient check of one linear layer against finite
+    /// differences of the MSE loss.
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut layer =
+            Dense::new(2, 2, Activation::Linear, OptimizerKind::Sgd { lr: 0.0 }, &mut r);
+        let x = Matrix::from_rows(&[&[0.4, -0.3], &[1.2, 0.8]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+
+        let pred = layer.forward(&x, true);
+        let grad_out = Loss::Mse.gradient(&t, &pred);
+        let (d_w, d_b) = layer.gradients(&grad_out);
+
+        let h = 1e-6;
+        // Check each weight.
+        for i in 0..4 {
+            let mut perturbed = layer.clone();
+            perturbed.weights.data_mut()[i] += h;
+            let up = Loss::Mse.value(&t, &perturbed.forward(&x, false));
+            let mut perturbed = layer.clone();
+            perturbed.weights.data_mut()[i] -= h;
+            let down = Loss::Mse.value(&t, &perturbed.forward(&x, false));
+            let numeric = (up - down) / (2.0 * h);
+            assert!(
+                (d_w.data()[i] - numeric).abs() < 1e-5,
+                "w[{i}]: analytic {} vs numeric {numeric}",
+                d_w.data()[i]
+            );
+        }
+        // Check each bias.
+        for i in 0..2 {
+            let mut perturbed = layer.clone();
+            perturbed.bias[i] += h;
+            let up = Loss::Mse.value(&t, &perturbed.forward(&x, false));
+            let mut perturbed = layer.clone();
+            perturbed.bias[i] -= h;
+            let down = Loss::Mse.value(&t, &perturbed.forward(&x, false));
+            let numeric = (up - down) / (2.0 * h);
+            assert!((d_b[i] - numeric).abs() < 1e-5, "b[{i}]");
+        }
+    }
+
+    #[test]
+    fn relu_layer_backward_masks_dead_units() {
+        let mut r = rng();
+        let mut layer =
+            Dense::new(1, 1, Activation::Relu, OptimizerKind::Sgd { lr: 0.0 }, &mut r);
+        // Force a negative pre-activation.
+        layer.weights.set(0, 0, -1.0);
+        let x = Matrix::from_rows(&[&[1.0]]);
+        let out = layer.forward(&x, true);
+        assert_eq!(out.get(0, 0), 0.0);
+        let grad_in = layer.backward(&Matrix::from_rows(&[&[1.0]]), 0.0);
+        assert_eq!(grad_in.get(0, 0), 0.0, "dead ReLU passes no gradient");
+    }
+
+    #[test]
+    fn backward_updates_parameters() {
+        let mut r = rng();
+        let mut layer =
+            Dense::new(2, 1, Activation::Linear, OptimizerKind::Sgd { lr: 0.5 }, &mut r);
+        let before = layer.weights.clone();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let _ = layer.forward(&x, true);
+        let _ = layer.backward(&Matrix::from_rows(&[&[1.0]]), 0.0);
+        assert_ne!(layer.weights, before);
+    }
+
+    #[test]
+    fn l2_decays_weights_even_with_zero_data_gradient() {
+        let mut r = rng();
+        let mut layer =
+            Dense::new(1, 1, Activation::Linear, OptimizerKind::Sgd { lr: 0.1 }, &mut r);
+        layer.weights.set(0, 0, 1.0);
+        let x = Matrix::from_rows(&[&[0.0]]); // zero input → zero data grad
+        let _ = layer.forward(&x, true);
+        let _ = layer.backward(&Matrix::from_rows(&[&[0.0]]), 0.1);
+        assert!(layer.weights.get(0, 0) < 1.0, "L2 should shrink the weight");
+    }
+
+    #[test]
+    #[should_panic(expected = "training-mode forward")]
+    fn backward_without_forward_panics() {
+        let mut r = rng();
+        let mut layer =
+            Dense::new(1, 1, Activation::Linear, OptimizerKind::Sgd { lr: 0.1 }, &mut r);
+        let _ = layer.backward(&Matrix::from_rows(&[&[1.0]]), 0.0);
+    }
+}

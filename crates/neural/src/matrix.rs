@@ -1,0 +1,379 @@
+//! A minimal row-major matrix.
+//!
+//! Only the operations the training loop needs, implemented on a flat
+//! `Vec<f64>` with cache-friendly loops. No BLAS, no unsafe.
+
+use serde::{Deserialize, Serialize};
+use sizeless_engine::RngStream;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape does not match data length");
+        Matrix { rows, cols, data }
+    }
+
+    /// He-initialized random matrix (for ReLU layers).
+    pub fn he_init(rows: usize, cols: usize, rng: &mut RngStream) -> Self {
+        let std = (2.0 / rows as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.standard_normal() * std)
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Extracts column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Builds a new matrix from a subset of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Builds a new matrix from a subset of columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_columns(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            for (j, &c) in indices.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch ({}x{} × {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: the inner loop walks contiguous memory.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias length must match columns");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise product in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_inplace(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `self += other * scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f64) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Vertically stacks two matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[5.0], &[3.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 7.0);
+        assert_eq!((c.rows(), c.cols()), (1, 1));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_hadamard() {
+        let mut m = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        m.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(m, Matrix::from_rows(&[&[11.0, 21.0], &[12.0, 22.0]]));
+        let mask = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        m.hadamard_inplace(&mask);
+        assert_eq!(m, Matrix::from_rows(&[&[11.0, 0.0], &[0.0, 22.0]]));
+    }
+
+    #[test]
+    fn column_sums_and_add_scaled() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.column_sums(), vec![4.0, 6.0]);
+        let mut acc = Matrix::zeros(2, 2);
+        acc.add_scaled(&m, 0.5);
+        assert_eq!(acc.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn row_and_column_selection() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let rows = m.select_rows(&[2, 0]);
+        assert_eq!(rows, Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]));
+        let cols = m.select_columns(&[1]);
+        assert_eq!(cols.column(0), vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = a.vstack(&b);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        let mut rng = RngStream::from_seed(1, "he");
+        let m = Matrix::he_init(100, 100, &mut rng);
+        let mean = m.data().iter().sum::<f64>() / 10_000.0;
+        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 0.02).abs() < 0.005, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+}

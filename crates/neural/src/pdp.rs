@@ -1,0 +1,143 @@
+//! Partial dependence plots — the explainability tool behind Figure 5.
+//!
+//! The partial dependence of a model on feature *j* at value *v* is the mean
+//! prediction over the dataset with every row's feature *j* replaced by *v*
+//! (Goldstein et al., 2015). The paper uses these plots to show that CPU
+//! utilization, network activity, and heap usage drive the predicted
+//! speedups.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One grid point of a partial dependence curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdpPoint {
+    /// The substituted feature value.
+    pub feature_value: f64,
+    /// Mean model prediction per output target.
+    pub mean_predictions: Vec<f64>,
+}
+
+/// Computes the partial dependence of `predict` on feature `feature` over
+/// `grid_points` evenly spaced values spanning the observed range of that
+/// feature in `x`.
+///
+/// `predict` maps an input matrix to an output matrix (rows aligned).
+///
+/// # Panics
+///
+/// Panics if `grid_points < 2`, the feature index is out of range, or `x`
+/// is empty.
+pub fn partial_dependence(
+    predict: impl Fn(&Matrix) -> Matrix,
+    x: &Matrix,
+    feature: usize,
+    grid_points: usize,
+) -> Vec<PdpPoint> {
+    assert!(grid_points >= 2, "need at least two grid points");
+    assert!(feature < x.cols(), "feature index out of range");
+    assert!(x.rows() > 0, "empty dataset");
+
+    let col = x.column(feature);
+    let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let mut out = Vec::with_capacity(grid_points);
+    for g in 0..grid_points {
+        let v = if hi > lo {
+            lo + (hi - lo) * g as f64 / (grid_points - 1) as f64
+        } else {
+            lo
+        };
+        let mut x_mod = x.clone();
+        for r in 0..x_mod.rows() {
+            x_mod.set(r, feature, v);
+        }
+        let pred = predict(&x_mod);
+        let n = pred.rows() as f64;
+        let mean_predictions: Vec<f64> = (0..pred.cols())
+            .map(|c| pred.column(c).iter().sum::<f64>() / n)
+            .collect();
+        out.push(PdpPoint {
+            feature_value: v,
+            mean_predictions,
+        });
+    }
+    out
+}
+
+/// The overall influence of a feature: the range (max − min) of its partial
+/// dependence curve, summed over output targets. Used to pick the "most
+/// impactful" features shown in Figure 5.
+pub fn pdp_influence(curve: &[PdpPoint]) -> f64 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    let targets = curve[0].mean_predictions.len();
+    (0..targets)
+        .map(|t| {
+            let vals: Vec<f64> = curve.iter().map(|p| p.mean_predictions[t]).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transparent "model": y = [2·x₀, x₁].
+    fn toy_model(x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), 2);
+        for r in 0..x.rows() {
+            out.set(r, 0, 2.0 * x.get(r, 0));
+            out.set(r, 1, x.get(r, 1));
+        }
+        out
+    }
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[&[0.0, 5.0], &[1.0, 6.0], &[2.0, 7.0]])
+    }
+
+    #[test]
+    fn pdp_recovers_linear_effect() {
+        let curve = partial_dependence(toy_model, &data(), 0, 3);
+        assert_eq!(curve.len(), 3);
+        // Feature 0 spans [0, 2] → target 0 spans [0, 4].
+        assert_eq!(curve[0].feature_value, 0.0);
+        assert_eq!(curve[2].feature_value, 2.0);
+        assert!((curve[0].mean_predictions[0] - 0.0).abs() < 1e-12);
+        assert!((curve[2].mean_predictions[0] - 4.0).abs() < 1e-12);
+        // Target 1 is unaffected by feature 0: flat at mean(x₁) = 6.
+        for p in &curve {
+            assert!((p.mean_predictions[1] - 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn influence_ranks_features_correctly() {
+        let c0 = partial_dependence(toy_model, &data(), 0, 5);
+        let c1 = partial_dependence(toy_model, &data(), 1, 5);
+        // Feature 0 moves target 0 by 4; feature 1 moves target 1 by 2.
+        assert!(pdp_influence(&c0) > pdp_influence(&c1));
+    }
+
+    #[test]
+    fn constant_feature_yields_flat_curve() {
+        let x = Matrix::from_rows(&[&[3.0, 1.0], &[3.0, 2.0]]);
+        let curve = partial_dependence(toy_model, &x, 0, 4);
+        for p in &curve {
+            assert_eq!(p.feature_value, 3.0);
+        }
+        assert_eq!(pdp_influence(&curve), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature index out of range")]
+    fn bad_feature_index_panics() {
+        let _ = partial_dependence(toy_model, &data(), 9, 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Feature standardization.
+//!
+//! Neural networks train poorly on features spanning several orders of
+//! magnitude (milliseconds next to kilobytes next to ratios), so the
+//! pipeline standardizes every feature column to zero mean / unit variance
+//! using statistics of the *training* split only.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-column standardizer (`(x - mean) / std`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Learns column statistics from a training matrix.
+    ///
+    /// Constant columns get `std = 1` so they transform to zero instead of
+    /// dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a scaler on an empty matrix");
+        let n = x.rows() as f64;
+        let mut means = vec![0.0; x.cols()];
+        let mut stds = vec![0.0; x.cols()];
+        for c in 0..x.cols() {
+            let mut sum = 0.0;
+            for r in 0..x.rows() {
+                sum += x.get(r, c);
+            }
+            means[c] = sum / n;
+            let mut var = 0.0;
+            for r in 0..x.rows() {
+                let d = x.get(r, c) - means[c];
+                var += d * d;
+            }
+            let std = (var / n).sqrt();
+            stds[c] = if std > 0.0 { std } else { 1.0 };
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Standardizes a matrix with the learned statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "column count mismatch");
+        let mut out = x.clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                out.set(r, c, (x.get(r, c) - self.means[c]) / self.stds[c]);
+            }
+        }
+        out
+    }
+
+    /// Standardizes a single row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted column count.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "column count mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    /// `fit` followed by `transform` on the same matrix.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let scaler = Self::fit(x);
+        let t = scaler.transform(x);
+        (scaler, t)
+    }
+
+    /// The learned per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The learned per-column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for c in 0..2 {
+            let col = t.column(c);
+            let mean = col.iter().sum::<f64>() / 3.0;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let x = Matrix::from_rows(&[&[5.0], &[5.0]]);
+        let (scaler, t) = StandardScaler::fit_transform(&x);
+        assert_eq!(t.column(0), vec![0.0, 0.0]);
+        assert_eq!(scaler.stds()[0], 1.0);
+    }
+
+    #[test]
+    fn transform_uses_training_statistics() {
+        let train = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let scaler = StandardScaler::fit(&train);
+        let test = Matrix::from_rows(&[&[20.0]]);
+        let t = scaler.transform(&test);
+        // mean 5, std 5 → (20-5)/5 = 3.
+        assert!((t.get(0, 0) - 3.0).abs() < 1e-12);
+        assert_eq!(scaler.transform_row(&[20.0]), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_width_rejected() {
+        let scaler = StandardScaler::fit(&Matrix::zeros(2, 3));
+        let _ = scaler.transform(&Matrix::zeros(2, 2));
+    }
+}

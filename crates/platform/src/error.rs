@@ -1,0 +1,77 @@
+//! Platform error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the platform simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The requested memory size is not configurable on the platform.
+    InvalidMemorySize {
+        /// The rejected size in MB.
+        mb: u32,
+    },
+    /// A function name was deployed twice.
+    DuplicateFunction {
+        /// The conflicting function name.
+        name: String,
+    },
+    /// An invocation referenced an unknown function.
+    UnknownFunction {
+        /// The unknown function name.
+        name: String,
+    },
+    /// The function's working set exceeds the configured memory size — the
+    /// simulated equivalent of a Lambda out-of-memory kill.
+    OutOfMemory {
+        /// Working-set demand in MB.
+        working_set_mb: f64,
+        /// Configured memory size in MB.
+        memory_mb: u32,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidMemorySize { mb } => write!(
+                f,
+                "invalid memory size {mb} MB (must be 128-3008 in 64 MB increments)"
+            ),
+            PlatformError::DuplicateFunction { name } => {
+                write!(f, "function `{name}` is already deployed")
+            }
+            PlatformError::UnknownFunction { name } => {
+                write!(f, "no function named `{name}` is deployed")
+            }
+            PlatformError::OutOfMemory {
+                working_set_mb,
+                memory_mb,
+            } => write!(
+                f,
+                "working set of {working_set_mb:.1} MB exceeds memory size {memory_mb} MB"
+            ),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PlatformError::InvalidMemorySize { mb: 100 };
+        assert!(e.to_string().contains("100"));
+        let e = PlatformError::UnknownFunction { name: "f".into() };
+        assert!(e.to_string().contains('f'));
+        let e = PlatformError::OutOfMemory {
+            working_set_mb: 300.0,
+            memory_mb: 128,
+        };
+        assert!(e.to_string().contains("128"));
+    }
+}

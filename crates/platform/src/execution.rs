@@ -1,0 +1,493 @@
+//! Turning a [`ResourceProfile`] plus a [`MemorySize`] into a wall-clock
+//! duration and a ground-truth [`ResourceUsage`] record.
+//!
+//! The execution semantics mirror a Node.js Lambda:
+//!
+//! * CPU demand is divided by the memory-scaled CPU speed — but the *reported*
+//!   CPU time (`process.cpuUsage()`) is the demand itself, so the relative
+//!   feature "user time per second of execution" measures CPU-boundedness,
+//!   exactly the paper's most impactful feature (Figure 5).
+//! * File and raw network traffic are served at memory-scaled bandwidths.
+//! * Managed-service calls pay a memory-independent server latency plus a
+//!   memory-scaled transfer time.
+//! * A working set close to the configured memory triggers GC/swap pressure
+//!   that inflates CPU time (the "heap used" effect of Figure 5).
+//! * Long synchronous CPU stages block the event loop, producing the
+//!   event-loop-lag metrics of Table 1.
+
+use crate::memory::MemorySize;
+use crate::resource::ResourceProfile;
+use crate::scaling::ScalingLaws;
+use crate::services::ServiceCatalog;
+use serde::{Deserialize, Serialize};
+use sizeless_engine::dist::{Distribution, LogNormal};
+use sizeless_engine::RngStream;
+
+/// Ground-truth resource consumption of one invocation.
+///
+/// Field names deliberately parallel the 25 metrics of the paper's Table 1;
+/// the telemetry crate converts this record into the monitored metric vector
+/// (adding measurement noise where the real collectors are noisy).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Inner execution time (what the paper's wrapper measures), ms.
+    pub duration_ms: f64,
+    /// CPU time spent in user space, ms (as `process.cpuUsage()` reports).
+    pub user_cpu_ms: f64,
+    /// CPU time spent in kernel space, ms.
+    pub sys_cpu_ms: f64,
+    /// Voluntary context switches (blocking I/O waits).
+    pub vol_ctx_switches: f64,
+    /// Involuntary context switches (CPU throttling, thread migration).
+    pub invol_ctx_switches: f64,
+    /// File-system read operations.
+    pub fs_reads: f64,
+    /// File-system write operations.
+    pub fs_writes: f64,
+    /// Bytes read from the file system, KB.
+    pub fs_read_kb: f64,
+    /// Bytes written to the file system, KB.
+    pub fs_write_kb: f64,
+    /// Resident set size, MB.
+    pub rss_mb: f64,
+    /// Peak resident set size, MB.
+    pub max_rss_mb: f64,
+    /// Total V8 heap, MB.
+    pub heap_total_mb: f64,
+    /// Used V8 heap, MB.
+    pub heap_used_mb: f64,
+    /// Physical heap size, MB.
+    pub physical_heap_mb: f64,
+    /// Available heap before the limit, MB.
+    pub available_heap_mb: f64,
+    /// Configured heap limit, MB (scales with the memory size).
+    pub heap_limit_mb: f64,
+    /// Memory allocated by the V8 allocator, MB.
+    pub malloced_mb: f64,
+    /// External (buffer) memory, MB.
+    pub external_mb: f64,
+    /// Bytecode + metadata size, KB.
+    pub bytecode_metadata_kb: f64,
+    /// Network bytes received, KB.
+    pub net_rx_kb: f64,
+    /// Network bytes transmitted, KB.
+    pub net_tx_kb: f64,
+    /// Network packets received.
+    pub pkts_rx: f64,
+    /// Network packets transmitted.
+    pub pkts_tx: f64,
+    /// Minimum event-loop lag, ms.
+    pub loop_lag_min_ms: f64,
+    /// Maximum event-loop lag, ms.
+    pub loop_lag_max_ms: f64,
+    /// Mean event-loop lag, ms.
+    pub loop_lag_mean_ms: f64,
+    /// Standard deviation of event-loop lag, ms.
+    pub loop_lag_std_ms: f64,
+}
+
+/// The result of executing a profile at a memory size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionOutcome {
+    /// Inner execution duration, ms.
+    pub duration_ms: f64,
+    /// Whether this execution paid a cold start (initialization happens
+    /// *before* the inner duration, matching Lambda's billing of init).
+    pub cold_start: bool,
+    /// Initialization duration if cold, ms.
+    pub init_ms: f64,
+    /// Ground-truth resource usage.
+    pub usage: ResourceUsage,
+}
+
+/// Multiplicative execution-time noise (σ of the lognormal). Cloud
+/// measurements show a few percent of jitter on warm executions.
+const DURATION_NOISE_SIGMA: f64 = 0.035;
+
+/// Fraction of CPU demand attributed to user space (rest is system).
+const USER_CPU_FRACTION: f64 = 0.93;
+
+/// File-system block size assumed per I/O operation, KB.
+const FS_BLOCK_KB: f64 = 16.0;
+
+/// Ethernet-ish MTU used to derive packet counts, bytes.
+const MTU_BYTES: f64 = 1460.0;
+
+/// GC CPU cost per MB of allocation churn, ms/MB at one vCPU.
+const GC_MS_PER_MB: f64 = 0.18;
+
+/// Executes a profile at `memory` (warm path).
+///
+/// The returned duration includes sampled service latencies, platform
+/// jitter, and lognormal noise, so repeated executions form realistic
+/// distributions for the stability analysis.
+pub fn execute(
+    profile: &ResourceProfile,
+    memory: MemorySize,
+    laws: &ScalingLaws,
+    services: &ServiceCatalog,
+    rng: &mut RngStream,
+) -> ExecutionOutcome {
+    let mut usage = ResourceUsage::default();
+    let peak_ws = profile.peak_working_set_mb();
+    let pressure = laws.memory_pressure_factor(memory, peak_ws);
+
+    let mut duration = 0.0;
+    let mut lag_samples: Vec<f64> = Vec::new();
+    let mut total_churn_mb = 0.0;
+
+    for stage in profile.stages() {
+        let speed = laws.cpu_speed(memory, stage.parallelism);
+
+        // GC work grows with allocation churn and memory pressure; CFS
+        // throttling at small shares inflates the demand further.
+        let throttle = laws.throttle_penalty(memory, stage.parallelism);
+        let gc_cpu_ms = stage.alloc_churn_mb * GC_MS_PER_MB * pressure;
+        let cpu_demand_ms = (stage.cpu_ms * pressure + gc_cpu_ms) * throttle;
+        let cpu_wall_ms = cpu_demand_ms / speed;
+
+        let io_kb = stage.io_read_kb + stage.io_write_kb;
+        let io_ms = (io_kb / 1024.0) / laws.io_bandwidth_mbps(memory) * 1000.0;
+
+        let net_kb = stage.net_in_kb + stage.net_out_kb;
+        let mut net_ms = (net_kb / 1024.0) / laws.net_bandwidth_mbps(memory) * 1000.0;
+        if net_kb > 0.0 {
+            net_ms += 1.2; // connection/RTT overhead per raw-network stage
+        }
+
+        let mut svc_ms = 0.0;
+        for call in &stage.service_calls {
+            for _ in 0..call.calls {
+                svc_ms +=
+                    services.call_time_ms(call.kind, call.payload_kb, memory, laws, rng);
+            }
+            // Service payloads flow over the function's NIC (half each way).
+            usage.net_rx_kb += call.calls as f64 * call.payload_kb * 0.5;
+            usage.net_tx_kb += call.calls as f64 * call.payload_kb * 0.5;
+        }
+
+        duration += cpu_wall_ms + io_ms + net_ms + svc_ms + stage.sleep_ms;
+
+        usage.user_cpu_ms += USER_CPU_FRACTION * cpu_demand_ms;
+        usage.sys_cpu_ms += (1.0 - USER_CPU_FRACTION) * cpu_demand_ms
+            + 0.002 * io_kb
+            + 0.004 * (net_kb + usage.net_rx_kb * 0.0); // io/net syscall time
+
+        usage.fs_read_kb += stage.io_read_kb;
+        usage.fs_write_kb += stage.io_write_kb;
+        usage.fs_reads += (stage.io_read_kb / FS_BLOCK_KB).ceil();
+        usage.fs_writes += (stage.io_write_kb / FS_BLOCK_KB).ceil();
+
+        usage.net_rx_kb += stage.net_in_kb;
+        usage.net_tx_kb += stage.net_out_kb;
+
+        // Voluntary switches: every blocking wait yields the CPU, and
+        // libuv-pool work adds task handoffs proportional to the parallel
+        // CPU demand — this is how thread-pool parallelism shows up in the
+        // monitored metrics (the paper's model sees voluntary context
+        // switches among its six final metrics).
+        let io_ops = (stage.io_read_kb / FS_BLOCK_KB).ceil() + (stage.io_write_kb / FS_BLOCK_KB).ceil();
+        let svc_calls = stage.total_service_calls() as f64;
+        let sleeps = if stage.sleep_ms > 0.0 { 1.0 } else { 0.0 };
+        usage.vol_ctx_switches += io_ops + 2.0 * svc_calls + sleeps;
+        if stage.parallelism > 1.0 {
+            usage.vol_ctx_switches += 0.8 * cpu_demand_ms * (stage.parallelism - 1.0);
+            // Thread coordination costs kernel time too.
+            usage.sys_cpu_ms += 0.015 * cpu_demand_ms * (stage.parallelism - 1.0);
+        }
+
+        // Involuntary switches: CFS throttling while the share is below the
+        // stage's exploitable parallelism, plus thread migration for
+        // libuv-pool work.
+        let throttled = laws.cpu_share(memory) < stage.parallelism;
+        let quantum_ms = if throttled { 4.0 } else { 40.0 };
+        usage.invol_ctx_switches += cpu_wall_ms / quantum_ms;
+        if stage.parallelism > 1.0 {
+            usage.invol_ctx_switches += cpu_wall_ms * (stage.parallelism - 1.0) / 25.0;
+        }
+
+        // A synchronous CPU stage blocks the event loop for its wall time.
+        if cpu_wall_ms > 0.0 {
+            lag_samples.push(cpu_wall_ms / stage.parallelism.max(1.0));
+        }
+        total_churn_mb += stage.alloc_churn_mb;
+    }
+
+    // Baseline syscalls of the handler itself.
+    usage.vol_ctx_switches += 3.0;
+
+    // Platform jitter and multiplicative noise on the wall clock.
+    let noise = LogNormal::with_mean(1.0, DURATION_NOISE_SIGMA)
+        .expect("constant sigma is valid")
+        .sample(rng);
+    let jitter_ms = 0.4 + 0.6 * rng.next_f64();
+    duration = duration * noise + jitter_ms;
+
+    // --- Memory picture -------------------------------------------------
+    // Peak working set includes the baseline; only ~55% of the runtime
+    // baseline lives on the V8 heap (the rest is native).
+    let heap_used = (peak_ws - 0.45 * profile.baseline_working_set_mb()).max(4.0);
+    let heap_total = heap_used * 1.28 + 6.0;
+    // Node on Lambda sizes its old space from the cgroup memory limit.
+    let heap_limit = (memory.mb() as f64 * 0.75).max(64.0);
+    let external = 2.0 + 0.0006 * (usage.net_rx_kb + usage.net_tx_kb + usage.fs_read_kb);
+    usage.heap_used_mb = heap_used;
+    usage.heap_total_mb = heap_total;
+    usage.physical_heap_mb = heap_total * 0.97;
+    usage.heap_limit_mb = heap_limit;
+    usage.available_heap_mb = (heap_limit - heap_used).max(0.0);
+    usage.malloced_mb = heap_total + external * 0.5;
+    usage.external_mb = external;
+    usage.rss_mb = heap_total + external + 30.0;
+    usage.max_rss_mb = usage.rss_mb * 1.05 + total_churn_mb * 0.15;
+    usage.bytecode_metadata_kb = 170.0 + profile.package_size_mb() * 85.0;
+
+    // --- Packets ---------------------------------------------------------
+    usage.pkts_rx = (usage.net_rx_kb * 1024.0 / MTU_BYTES).ceil() + 4.0;
+    usage.pkts_tx = (usage.net_tx_kb * 1024.0 / MTU_BYTES).ceil() + 4.0;
+
+    // --- Event-loop lag ---------------------------------------------------
+    if lag_samples.is_empty() {
+        lag_samples.push(0.02 + 0.03 * rng.next_f64());
+    }
+    let n = lag_samples.len() as f64;
+    let mean = lag_samples.iter().sum::<f64>() / n;
+    let var = lag_samples.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
+    usage.loop_lag_min_ms = lag_samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    usage.loop_lag_max_ms = lag_samples.iter().cloned().fold(0.0, f64::max);
+    usage.loop_lag_mean_ms = mean;
+    usage.loop_lag_std_ms = var.sqrt();
+
+    usage.duration_ms = duration;
+
+    ExecutionOutcome {
+        duration_ms: duration,
+        cold_start: false,
+        init_ms: 0.0,
+        usage,
+    }
+}
+
+/// The expected (noise-free) execution time at a memory size. Used by tests
+/// and by the "measured ground truth" oracle in the evaluation harness.
+pub fn expected_duration_ms(
+    profile: &ResourceProfile,
+    memory: MemorySize,
+    laws: &ScalingLaws,
+    services: &ServiceCatalog,
+) -> f64 {
+    let peak_ws = profile.peak_working_set_mb();
+    let pressure = laws.memory_pressure_factor(memory, peak_ws);
+    let mut duration = 0.0;
+    for stage in profile.stages() {
+        let speed = laws.cpu_speed(memory, stage.parallelism);
+        let throttle = laws.throttle_penalty(memory, stage.parallelism);
+        let gc_cpu_ms = stage.alloc_churn_mb * GC_MS_PER_MB * pressure;
+        duration += (stage.cpu_ms * pressure + gc_cpu_ms) * throttle / speed;
+        let io_kb = stage.io_read_kb + stage.io_write_kb;
+        duration += (io_kb / 1024.0) / laws.io_bandwidth_mbps(memory) * 1000.0;
+        let net_kb = stage.net_in_kb + stage.net_out_kb;
+        duration += (net_kb / 1024.0) / laws.net_bandwidth_mbps(memory) * 1000.0;
+        if net_kb > 0.0 {
+            duration += 1.2;
+        }
+        for call in &stage.service_calls {
+            duration += call.calls as f64
+                * (services.model(call.kind).mean_latency_ms(call.payload_kb)
+                    + crate::services::transfer_time_ms(call.payload_kb, memory, laws));
+        }
+        duration += stage.sleep_ms;
+    }
+    duration + 0.7 // mean jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ServiceCall, Stage};
+    use crate::services::ServiceKind;
+
+    fn setup() -> (ScalingLaws, ServiceCatalog, RngStream) {
+        (
+            ScalingLaws::aws_like(),
+            ServiceCatalog::aws_like(),
+            RngStream::from_seed(7, "exec-test"),
+        )
+    }
+
+    fn cpu_profile(ms: f64) -> ResourceProfile {
+        ResourceProfile::builder("cpu")
+            .stage(Stage::cpu("work", ms))
+            .build()
+    }
+
+    #[test]
+    fn cpu_bound_scales_inverse_linearly_until_one_vcpu() {
+        let (laws, svc, _) = setup();
+        let p = cpu_profile(200.0);
+        let d128 = expected_duration_ms(&p, MemorySize::MB_128, &laws, &svc);
+        let d256 = expected_duration_ms(&p, MemorySize::MB_256, &laws, &svc);
+        let d1024 = expected_duration_ms(&p, MemorySize::MB_1024, &laws, &svc);
+        assert!((d128 / d256 - 2.0).abs() < 0.05, "{d128} vs {d256}");
+        assert!(d256 / d1024 > 3.5);
+    }
+
+    #[test]
+    fn single_threaded_plateaus_past_1792() {
+        let (laws, svc, _) = setup();
+        let p = cpu_profile(200.0);
+        let d2048 = expected_duration_ms(&p, MemorySize::MB_2048, &laws, &svc);
+        let d3008 = expected_duration_ms(&p, MemorySize::MB_3008, &laws, &svc);
+        assert!((d2048 - d3008).abs() < 1.0, "{d2048} vs {d3008}");
+    }
+
+    #[test]
+    fn parallel_cpu_keeps_scaling_past_1792() {
+        let (laws, svc, _) = setup();
+        let p = ResourceProfile::builder("par")
+            .stage(Stage::cpu_parallel("zip", 200.0, 2.0))
+            .build();
+        let d2048 = expected_duration_ms(&p, MemorySize::MB_2048, &laws, &svc);
+        let d3008 = expected_duration_ms(&p, MemorySize::MB_3008, &laws, &svc);
+        assert!(d3008 < d2048 * 0.8, "{d3008} vs {d2048}");
+    }
+
+    #[test]
+    fn service_bound_function_is_memory_insensitive() {
+        let (laws, svc, _) = setup();
+        let p = ResourceProfile::builder("api")
+            .stage(Stage::service(
+                "call",
+                ServiceCall::new(ServiceKind::ExternalApi, 1, 2.0),
+            ))
+            .build();
+        let d128 = expected_duration_ms(&p, MemorySize::MB_128, &laws, &svc);
+        let d3008 = expected_duration_ms(&p, MemorySize::MB_3008, &laws, &svc);
+        assert!((d128 - d3008) / d128 < 0.05, "{d128} vs {d3008}");
+    }
+
+    #[test]
+    fn memory_pressure_inflates_small_sizes() {
+        let (laws, svc, _) = setup();
+        let p = ResourceProfile::builder("hungry")
+            .stage(Stage::cpu("work", 100.0).with_working_set(95.0))
+            .build();
+        // At 128 MB the 95 MB working set is ~83% of usable memory.
+        let d128 = expected_duration_ms(&p, MemorySize::MB_128, &laws, &svc);
+        let no_pressure = cpu_profile(100.0);
+        let base128 = expected_duration_ms(&no_pressure, MemorySize::MB_128, &laws, &svc);
+        assert!(d128 > base128 * 1.2, "{d128} vs {base128}");
+    }
+
+    #[test]
+    fn execute_matches_expected_on_average() {
+        let (laws, svc, mut rng) = setup();
+        let p = ResourceProfile::builder("mix")
+            .stage(Stage::cpu("a", 50.0))
+            .stage(Stage::file_io("b", 256.0, 128.0))
+            .stage(Stage::service(
+                "c",
+                ServiceCall::new(ServiceKind::DynamoDb, 3, 4.0),
+            ))
+            .build();
+        let expected = expected_duration_ms(&p, MemorySize::MB_512, &laws, &svc);
+        let n = 3000;
+        let avg: f64 = (0..n)
+            .map(|_| execute(&p, MemorySize::MB_512, &laws, &svc, &mut rng).duration_ms)
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - expected).abs() / expected < 0.05, "avg={avg} expected={expected}");
+    }
+
+    #[test]
+    fn cpu_metrics_report_demand_not_wall_time() {
+        let (laws, svc, mut rng) = setup();
+        let p = cpu_profile(100.0);
+        let out = execute(&p, MemorySize::MB_128, &laws, &svc, &mut rng);
+        let total_cpu = out.usage.user_cpu_ms + out.usage.sys_cpu_ms;
+        // Demand is ~100 ms (plus the ≤18% throttling inflation), nowhere
+        // near the 14×-slowed wall time at 128 MB.
+        assert!((95.0..125.0).contains(&total_cpu), "cpu={total_cpu}");
+        assert!(out.duration_ms > 1000.0);
+    }
+
+    #[test]
+    fn io_counters_reflect_traffic() {
+        let (laws, svc, mut rng) = setup();
+        let p = ResourceProfile::builder("io")
+            .stage(Stage::file_io("rw", 160.0, 80.0))
+            .build();
+        let out = execute(&p, MemorySize::MB_256, &laws, &svc, &mut rng);
+        assert_eq!(out.usage.fs_read_kb, 160.0);
+        assert_eq!(out.usage.fs_write_kb, 80.0);
+        assert_eq!(out.usage.fs_reads, 10.0);
+        assert_eq!(out.usage.fs_writes, 5.0);
+        assert!(out.usage.vol_ctx_switches >= 15.0);
+    }
+
+    #[test]
+    fn network_counters_include_service_payloads() {
+        let (laws, svc, mut rng) = setup();
+        let p = ResourceProfile::builder("net")
+            .stage(Stage::service(
+                "s3",
+                ServiceCall::new(ServiceKind::S3, 2, 100.0),
+            ))
+            .build();
+        let out = execute(&p, MemorySize::MB_256, &laws, &svc, &mut rng);
+        assert!((out.usage.net_rx_kb - 100.0).abs() < 1e-9);
+        assert!((out.usage.net_tx_kb - 100.0).abs() < 1e-9);
+        assert!(out.usage.pkts_rx > 60.0);
+    }
+
+    #[test]
+    fn heap_limit_scales_with_memory() {
+        let (laws, svc, mut rng) = setup();
+        let p = cpu_profile(10.0);
+        let small = execute(&p, MemorySize::MB_128, &laws, &svc, &mut rng);
+        let large = execute(&p, MemorySize::MB_3008, &laws, &svc, &mut rng);
+        assert!(large.usage.heap_limit_mb > small.usage.heap_limit_mb * 10.0);
+        assert!(large.usage.available_heap_mb > small.usage.available_heap_mb);
+    }
+
+    #[test]
+    fn event_loop_lag_tracks_cpu_blocks() {
+        let (laws, svc, mut rng) = setup();
+        let cpu_heavy = execute(&cpu_profile(500.0), MemorySize::MB_256, &laws, &svc, &mut rng);
+        let idle = execute(
+            &ResourceProfile::builder("idle")
+                .stage(Stage::sleep("wait", 100.0))
+                .build(),
+            MemorySize::MB_256,
+            &laws,
+            &svc,
+            &mut rng,
+        );
+        assert!(cpu_heavy.usage.loop_lag_max_ms > 100.0);
+        assert!(idle.usage.loop_lag_max_ms < 1.0);
+    }
+
+    #[test]
+    fn involuntary_switches_higher_when_throttled() {
+        let (laws, svc, mut rng) = setup();
+        let p = cpu_profile(200.0);
+        let throttled = execute(&p, MemorySize::MB_128, &laws, &svc, &mut rng);
+        let unthrottled = execute(&p, MemorySize::MB_2048, &laws, &svc, &mut rng);
+        assert!(
+            throttled.usage.invol_ctx_switches > 10.0 * unthrottled.usage.invol_ctx_switches
+        );
+    }
+
+    #[test]
+    fn durations_are_noisy_but_positive() {
+        let (laws, svc, mut rng) = setup();
+        let p = cpu_profile(20.0);
+        let d: Vec<f64> = (0..100)
+            .map(|_| execute(&p, MemorySize::MB_1024, &laws, &svc, &mut rng).duration_ms)
+            .collect();
+        assert!(d.iter().all(|&x| x > 0.0));
+        let distinct: std::collections::BTreeSet<u64> =
+            d.iter().map(|x| x.to_bits()).collect();
+        assert!(distinct.len() > 90, "noise should make durations distinct");
+    }
+}

@@ -1,0 +1,63 @@
+//! Deployed function configuration.
+
+use crate::memory::MemorySize;
+use crate::resource::ResourceProfile;
+use serde::{Deserialize, Serialize};
+
+/// A function as deployed on the platform: a resource profile plus the one
+/// knob developers still control — the memory size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionConfig {
+    profile: ResourceProfile,
+    memory: MemorySize,
+}
+
+impl FunctionConfig {
+    /// Creates a deployment configuration.
+    pub fn new(profile: ResourceProfile, memory: MemorySize) -> Self {
+        FunctionConfig { profile, memory }
+    }
+
+    /// The function's resource profile.
+    pub fn profile(&self) -> &ResourceProfile {
+        &self.profile
+    }
+
+    /// The configured memory size.
+    pub fn memory(&self) -> MemorySize {
+        self.memory
+    }
+
+    /// The function's name (delegates to the profile).
+    pub fn name(&self) -> &str {
+        self.profile.name()
+    }
+
+    /// Returns a copy deployed at a different memory size — the operation
+    /// the Sizeless optimizer ultimately performs.
+    pub fn with_memory(&self, memory: MemorySize) -> Self {
+        FunctionConfig {
+            profile: self.profile.clone(),
+            memory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Stage;
+
+    #[test]
+    fn with_memory_changes_only_memory() {
+        let p = ResourceProfile::builder("f")
+            .stage(Stage::cpu("w", 5.0))
+            .build();
+        let cfg = FunctionConfig::new(p.clone(), MemorySize::MB_128);
+        let resized = cfg.with_memory(MemorySize::MB_1024);
+        assert_eq!(resized.memory(), MemorySize::MB_1024);
+        assert_eq!(resized.profile(), &p);
+        assert_eq!(resized.name(), "f");
+        assert_eq!(cfg.memory(), MemorySize::MB_128);
+    }
+}

@@ -1,0 +1,296 @@
+//! The platform façade: execute profiles, bill invocations, manage warm
+//! instances.
+
+use crate::coldstart::ColdStartModel;
+use crate::execution::{self, ExecutionOutcome, ResourceUsage};
+use crate::function::FunctionConfig;
+use crate::memory::MemorySize;
+use crate::pricing::PricingModel;
+use crate::resource::ResourceProfile;
+use crate::scaling::ScalingLaws;
+use crate::services::ServiceCatalog;
+use serde::{Deserialize, Serialize};
+use sizeless_engine::RngStream;
+
+/// The simulated serverless platform (AWS-Lambda-like by default).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    laws: ScalingLaws,
+    pricing: PricingModel,
+    services: ServiceCatalog,
+    cold_start: ColdStartModel,
+}
+
+/// One billed invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Name of the invoked function.
+    pub function: String,
+    /// Memory size it ran at.
+    pub memory: MemorySize,
+    /// Inner execution duration, ms.
+    pub duration_ms: f64,
+    /// Billed duration (rounded up to the billing increment), ms.
+    pub billed_ms: f64,
+    /// Cost of this invocation, USD.
+    pub cost_usd: f64,
+    /// Whether this invocation paid a cold start.
+    pub cold_start: bool,
+    /// Initialization time if cold, ms.
+    pub init_ms: f64,
+    /// Ground-truth resource usage.
+    pub usage: ResourceUsage,
+}
+
+impl Platform {
+    /// An AWS-Lambda-like platform.
+    pub fn aws_like() -> Self {
+        Platform {
+            laws: ScalingLaws::aws_like(),
+            pricing: PricingModel::aws(),
+            services: ServiceCatalog::aws_like(),
+            cold_start: ColdStartModel::aws_like(),
+        }
+    }
+
+    /// A platform with custom components (for ablations and tests).
+    pub fn new(
+        laws: ScalingLaws,
+        pricing: PricingModel,
+        services: ServiceCatalog,
+        cold_start: ColdStartModel,
+    ) -> Self {
+        Platform {
+            laws,
+            pricing,
+            services,
+            cold_start,
+        }
+    }
+
+    /// The platform's scaling laws.
+    pub fn laws(&self) -> &ScalingLaws {
+        &self.laws
+    }
+
+    /// The platform's pricing model.
+    pub fn pricing(&self) -> &PricingModel {
+        &self.pricing
+    }
+
+    /// The platform's service catalog.
+    pub fn services(&self) -> &ServiceCatalog {
+        &self.services
+    }
+
+    /// The platform's cold-start model.
+    pub fn cold_start_model(&self) -> &ColdStartModel {
+        &self.cold_start
+    }
+
+    /// Executes a profile at `memory` on a warm instance.
+    pub fn execute(
+        &self,
+        profile: &ResourceProfile,
+        memory: MemorySize,
+        rng: &mut RngStream,
+    ) -> ExecutionOutcome {
+        execution::execute(profile, memory, &self.laws, &self.services, rng)
+    }
+
+    /// The expected (noise-free) duration of a profile at `memory` — the
+    /// evaluation oracle.
+    pub fn expected_duration_ms(&self, profile: &ResourceProfile, memory: MemorySize) -> f64 {
+        execution::expected_duration_ms(profile, memory, &self.laws, &self.services)
+    }
+
+    /// Expected cost per execution at `memory`, USD.
+    pub fn expected_cost_usd(&self, profile: &ResourceProfile, memory: MemorySize) -> f64 {
+        self.pricing
+            .cost_usd(self.expected_duration_ms(profile, memory), memory)
+    }
+
+    /// Runs one full invocation, optionally cold, and bills it.
+    pub fn invoke(
+        &self,
+        config: &FunctionConfig,
+        cold: bool,
+        rng: &mut RngStream,
+    ) -> InvocationRecord {
+        let mut outcome = self.execute(config.profile(), config.memory(), rng);
+        if cold {
+            outcome.cold_start = true;
+            outcome.init_ms =
+                self.cold_start
+                    .sample_init_ms(config.profile(), config.memory(), &self.laws, rng);
+        }
+        let billed_ms = self.pricing.billed_ms(outcome.duration_ms);
+        let cost_usd = self.pricing.cost_usd(outcome.duration_ms, config.memory());
+        InvocationRecord {
+            function: config.name().to_string(),
+            memory: config.memory(),
+            duration_ms: outcome.duration_ms,
+            billed_ms,
+            cost_usd,
+            cold_start: outcome.cold_start,
+            init_ms: outcome.init_ms,
+            usage: outcome.usage,
+        }
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::aws_like()
+    }
+}
+
+/// A per-function pool of warm instances, deciding which invocations pay a
+/// cold start. Instances are reclaimed after the cold-start model's idle TTL.
+#[derive(Debug, Clone, Default)]
+pub struct WarmPool {
+    /// `(busy_until_ms, last_release_ms)` per instance.
+    instances: Vec<(f64, f64)>,
+    idle_ttl_ms: f64,
+}
+
+/// Identifies an acquired instance until [`WarmPool::complete`] is called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceId(usize);
+
+impl WarmPool {
+    /// Creates a pool with the given idle TTL (ms).
+    pub fn new(idle_ttl_ms: f64) -> Self {
+        WarmPool {
+            instances: Vec::new(),
+            idle_ttl_ms,
+        }
+    }
+
+    /// Acquires an instance for an invocation arriving at `at_ms`. Returns
+    /// the instance and whether the invocation is a cold start.
+    pub fn begin(&mut self, at_ms: f64) -> (InstanceId, bool) {
+        // Reuse the most recently released warm instance (LIFO, like Lambda).
+        let mut best: Option<usize> = None;
+        for (i, &(busy_until, last_release)) in self.instances.iter().enumerate() {
+            let idle_ok = at_ms - last_release <= self.idle_ttl_ms;
+            if busy_until <= at_ms && idle_ok {
+                match best {
+                    Some(b) if self.instances[b].1 >= last_release => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        if let Some(i) = best {
+            self.instances[i].0 = f64::INFINITY; // busy until completed
+            (InstanceId(i), false)
+        } else {
+            self.instances.push((f64::INFINITY, at_ms));
+            (InstanceId(self.instances.len() - 1), true)
+        }
+    }
+
+    /// Marks the instance free again at `finish_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is not currently busy.
+    pub fn complete(&mut self, id: InstanceId, finish_ms: f64) {
+        let inst = &mut self.instances[id.0];
+        assert!(inst.0 == f64::INFINITY, "instance completed twice");
+        inst.0 = finish_ms;
+        inst.1 = finish_ms;
+    }
+
+    /// Number of instances ever provisioned.
+    pub fn provisioned(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Stage;
+
+    fn profile() -> ResourceProfile {
+        ResourceProfile::builder("f")
+            .stage(Stage::cpu("w", 40.0))
+            .build()
+    }
+
+    #[test]
+    fn invoke_bills_consistently() {
+        let p = Platform::aws_like();
+        let cfg = FunctionConfig::new(profile(), MemorySize::MB_512);
+        let mut rng = RngStream::from_seed(1, "inv");
+        let rec = p.invoke(&cfg, false, &mut rng);
+        assert_eq!(rec.function, "f");
+        assert!(rec.billed_ms >= rec.duration_ms);
+        assert!(rec.cost_usd > 0.0);
+        assert!(!rec.cold_start);
+        assert_eq!(rec.init_ms, 0.0);
+    }
+
+    #[test]
+    fn cold_invocation_has_init_time() {
+        let p = Platform::aws_like();
+        let cfg = FunctionConfig::new(profile(), MemorySize::MB_512);
+        let mut rng = RngStream::from_seed(2, "inv-cold");
+        let rec = p.invoke(&cfg, true, &mut rng);
+        assert!(rec.cold_start);
+        assert!(rec.init_ms > 100.0);
+    }
+
+    #[test]
+    fn expected_cost_tracks_duration_and_memory() {
+        let p = Platform::aws_like();
+        let prof = profile();
+        // For a CPU-bound function, 128→256 halves time at double rate: cost
+        // roughly flat; 2048→3008 keeps time flat at a higher rate: cost up.
+        let c2048 = p.expected_cost_usd(&prof, MemorySize::MB_2048);
+        let c3008 = p.expected_cost_usd(&prof, MemorySize::MB_3008);
+        assert!(c3008 > c2048);
+    }
+
+    #[test]
+    fn warm_pool_reuses_instances() {
+        let mut pool = WarmPool::new(10_000.0);
+        let (a, cold_a) = pool.begin(0.0);
+        assert!(cold_a);
+        pool.complete(a, 50.0);
+        let (_b, cold_b) = pool.begin(100.0);
+        assert!(!cold_b);
+        assert_eq!(pool.provisioned(), 1);
+    }
+
+    #[test]
+    fn warm_pool_scales_out_under_concurrency() {
+        let mut pool = WarmPool::new(10_000.0);
+        let (a, _) = pool.begin(0.0);
+        let (b, cold_b) = pool.begin(1.0); // a still busy
+        assert!(cold_b);
+        pool.complete(a, 30.0);
+        pool.complete(b, 31.0);
+        assert_eq!(pool.provisioned(), 2);
+    }
+
+    #[test]
+    fn warm_pool_expires_idle_instances() {
+        let mut pool = WarmPool::new(1_000.0);
+        let (a, _) = pool.begin(0.0);
+        pool.complete(a, 10.0);
+        let (_b, cold) = pool.begin(5_000.0); // idle 4990 ms > TTL
+        assert!(cold);
+        assert_eq!(pool.provisioned(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_complete_panics() {
+        let mut pool = WarmPool::new(1_000.0);
+        let (a, _) = pool.begin(0.0);
+        pool.complete(a, 1.0);
+        pool.complete(a, 2.0);
+    }
+}

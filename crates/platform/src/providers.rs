@@ -1,0 +1,140 @@
+//! Alternative provider presets.
+//!
+//! Figiela et al. (2018) and Back & Andrikopoulos (2018) — both cited by the
+//! paper — measured that the memory-size/performance/cost relation differs
+//! across providers: Google Cloud Functions priced GHz-seconds separately
+//! and granted relatively more CPU to small sizes, IBM Cloud Functions gave
+//! nearly flat CPU across sizes. The paper argues Sizeless transfers to
+//! other platforms by regenerating the dataset; these presets make that
+//! experiment runnable (see `examples/custom_platform.rs`).
+
+use crate::coldstart::ColdStartModel;
+use crate::platform::Platform;
+use crate::pricing::PricingModel;
+use crate::scaling::ScalingLaws;
+use crate::services::ServiceCatalog;
+
+/// A Google-Cloud-Functions-like platform (2020 era): CPU scales with
+/// memory but tops out at ~1.4 GHz-equivalent already at 2048 MB, pricing
+/// has a higher per-request charge and 100 ms rounding.
+pub fn gcloud_like() -> Platform {
+    let laws = ScalingLaws {
+        mb_per_vcpu: 1400.0, // full share earlier than AWS
+        io_bw_cap_mbps: 480.0,
+        io_half_sat_mb: 800.0,
+        net_bw_cap_mbps: 500.0,
+        net_half_sat_mb: 2400.0,
+        usable_memory_fraction: 0.88,
+    };
+    let pricing = PricingModel {
+        gb_second_usd: 0.000_002_5 + 0.000_010_0, // GB-s + GHz-s folded together
+        per_request_usd: 0.000_000_4,
+        billing_increment_ms: 100.0,
+    };
+    let cold = ColdStartModel {
+        provision_ms: 220.0,
+        runtime_boot_ms: 120.0,
+        sigma: 0.3,
+        idle_ttl_ms: 15.0 * 60_000.0,
+    };
+    Platform::new(laws, pricing, ServiceCatalog::aws_like(), cold)
+}
+
+/// An IBM-Cloud-Functions-like platform (2018 era): Figiela et al. measured
+/// an almost **flat** CPU allocation across memory sizes — memory size buys
+/// headroom, not speed — which makes the smallest size optimal for nearly
+/// every function.
+pub fn ibm_like() -> Platform {
+    let laws = ScalingLaws {
+        // A tiny slope: 1 vCPU at 512 MB and capped quickly; below that the
+        // share is already 0.8+ — sizes barely differ in speed.
+        mb_per_vcpu: 160.0,
+        io_bw_cap_mbps: 400.0,
+        io_half_sat_mb: 300.0,
+        net_bw_cap_mbps: 450.0,
+        net_half_sat_mb: 900.0,
+        usable_memory_fraction: 0.9,
+    };
+    let pricing = PricingModel {
+        gb_second_usd: 0.000_017,
+        per_request_usd: 0.0,
+        billing_increment_ms: 100.0,
+    };
+    Platform::new(
+        laws,
+        pricing,
+        ServiceCatalog::aws_like(),
+        ColdStartModel::aws_like(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemorySize;
+    use crate::resource::{ResourceProfile, Stage};
+
+    fn cpu_profile() -> ResourceProfile {
+        ResourceProfile::builder("provider-test")
+            .stage(Stage::cpu("work", 200.0))
+            .build()
+    }
+
+    #[test]
+    fn gcloud_plateaus_earlier_than_aws() {
+        let aws = Platform::aws_like();
+        let gcp = gcloud_like();
+        let p = cpu_profile();
+        // At 1536 MB GCF already has a full share; AWS does not until 1792.
+        let m = MemorySize::new(1536).unwrap();
+        let aws_gain = aws.expected_duration_ms(&p, m)
+            / aws.expected_duration_ms(&p, MemorySize::MB_2048);
+        let gcp_gain = gcp.expected_duration_ms(&p, m)
+            / gcp.expected_duration_ms(&p, MemorySize::MB_2048);
+        assert!(gcp_gain < aws_gain, "gcp {gcp_gain:.3} vs aws {aws_gain:.3}");
+    }
+
+    #[test]
+    fn ibm_cpu_is_nearly_flat_across_sizes() {
+        let ibm = ibm_like();
+        let p = cpu_profile();
+        let t256 = ibm.expected_duration_ms(&p, MemorySize::MB_256);
+        let t2048 = ibm.expected_duration_ms(&p, MemorySize::MB_2048);
+        // Figiela et al.: IBM durations barely improve with memory.
+        assert!(t256 / t2048 < 1.4, "{t256} vs {t2048}");
+    }
+
+    #[test]
+    fn optimal_size_differs_between_providers() {
+        use std::collections::BTreeMap;
+        let p = cpu_profile();
+        let choose = |platform: &Platform| {
+            let times: BTreeMap<MemorySize, f64> = MemorySize::STANDARD
+                .iter()
+                .map(|&m| (m, platform.expected_duration_ms(&p, m)))
+                .collect();
+            // Pure-cost decision highlights the provider difference.
+            times
+                .iter()
+                .map(|(&m, &t)| (m, platform.pricing().cost_usd(t, m)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty")
+                .0
+        };
+        let aws_choice = choose(&Platform::aws_like());
+        let ibm_choice = choose(&ibm_like());
+        // On IBM nothing speeds up, so the smallest size is cheapest; on
+        // AWS the CPU-bound function is cost-neutral-or-better at larger
+        // sizes (throttle penalty).
+        assert_eq!(ibm_choice, MemorySize::MB_128);
+        assert!(aws_choice > ibm_choice, "aws {aws_choice} ibm {ibm_choice}");
+    }
+
+    #[test]
+    fn provider_presets_have_sane_pricing() {
+        for platform in [gcloud_like(), ibm_like()] {
+            let cost = platform.pricing().cost_usd(1000.0, MemorySize::MB_1024);
+            assert!(cost > 0.0 && cost < 0.001, "cost={cost}");
+        }
+    }
+}

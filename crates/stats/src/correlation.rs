@@ -1,0 +1,128 @@
+//! Pearson and Spearman correlation, used for feature analysis and for the
+//! discussion of how metrics relate to scaling behaviour (Section 3.4).
+
+use crate::descriptive::{mean, std_dev};
+use crate::error::{validate_pair, StatsError};
+
+/// Pearson product-moment correlation coefficient.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DegenerateVariance`] when either input is constant,
+/// plus the usual validation errors.
+///
+/// # Examples
+///
+/// ```
+/// let r = sizeless_stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(a, b)?;
+    let ma = mean(a)?;
+    let mb = mean(b)?;
+    let sa = std_dev(a)?;
+    let sb = std_dev(b)?;
+    if sa == 0.0 || sb == 0.0 {
+        return Err(StatsError::DegenerateVariance);
+    }
+    let cov = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / a.len() as f64;
+    Ok((cov / (sa * sb)).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation: Pearson correlation of mid-ranks.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+///
+/// # Examples
+///
+/// ```
+/// // Monotone but non-linear relation → Spearman is exactly 1.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// let rho = sizeless_stats::spearman(&x, &y).unwrap();
+/// assert!((rho - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(a, b)?;
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Assigns mid-ranks (1-based) to a sample, averaging ranks over ties.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("NaN not supported"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let mid = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = mid;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_orthogonal() {
+        // Symmetric "V" pattern has zero linear correlation with x.
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y = [4.0, 1.0, 0.0, 1.0, 4.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_errors() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_transform_invariant() {
+        let x = [0.5, 1.5, 2.5, 3.5, 9.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_of_sorted_input() {
+        assert_eq!(ranks(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn spearman_antisymmetric() {
+        let x = [1.0, 4.0, 2.0, 8.0];
+        let y = [2.0, 3.0, 9.0, 1.0];
+        let r1 = spearman(&x, &y).unwrap();
+        let r2 = spearman(&y, &x).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Aggregating per-invocation samples into the per-function metric vector.
+//!
+//! The paper's regression model consumes, per monitored function: the *mean*
+//! of each metric over the measurement window, and (in feature set F4) the
+//! standard deviation and coefficient of variation of selected metrics.
+//! [`MetricVector`] holds exactly those aggregates for all 25 metrics.
+
+use crate::metric::{Metric, METRIC_COUNT};
+use crate::monitor::{InvocationSample, MetricStore};
+use serde::{Deserialize, Serialize};
+use sizeless_stats::Summary;
+
+/// Mean / standard deviation / coefficient of variation of one metric over a
+/// measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricAggregate {
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std/mean`, 0 for zero mean).
+    pub cv: f64,
+}
+
+/// The aggregated monitoring vector of one function at one memory size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricVector {
+    aggregates: [MetricAggregate; METRIC_COUNT],
+    sample_count: usize,
+}
+
+impl MetricVector {
+    /// Aggregates a set of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty — a measurement window always contains
+    /// at least one invocation.
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = &'a InvocationSample>) -> Self {
+        let samples: Vec<&InvocationSample> = samples.into_iter().collect();
+        assert!(!samples.is_empty(), "cannot aggregate an empty window");
+        let mut aggregates = [MetricAggregate::default(); METRIC_COUNT];
+        let mut buf = Vec::with_capacity(samples.len());
+        for metric in Metric::ALL {
+            buf.clear();
+            buf.extend(samples.iter().map(|s| s.value(metric)));
+            let summary = Summary::from_slice(&buf).expect("window is non-empty");
+            aggregates[metric.index()] = MetricAggregate {
+                mean: summary.mean(),
+                std_dev: summary.std_dev(),
+                cv: summary.coefficient_of_variation(),
+            };
+        }
+        MetricVector {
+            aggregates,
+            sample_count: samples.len(),
+        }
+    }
+
+    /// Aggregates an entire store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is empty.
+    pub fn from_store(store: &MetricStore) -> Self {
+        Self::from_samples(store.samples())
+    }
+
+    /// The aggregate of one metric.
+    pub fn aggregate(&self, metric: Metric) -> MetricAggregate {
+        self.aggregates[metric.index()]
+    }
+
+    /// The mean of one metric.
+    pub fn mean(&self, metric: Metric) -> f64 {
+        self.aggregates[metric.index()].mean
+    }
+
+    /// The standard deviation of one metric.
+    pub fn std_dev(&self, metric: Metric) -> f64 {
+        self.aggregates[metric.index()].std_dev
+    }
+
+    /// The coefficient of variation of one metric.
+    pub fn cv(&self, metric: Metric) -> f64 {
+        self.aggregates[metric.index()].cv
+    }
+
+    /// The mean execution time, ms (the most used aggregate).
+    pub fn mean_execution_time_ms(&self) -> f64 {
+        self.mean(Metric::ExecutionTime)
+    }
+
+    /// Number of samples aggregated.
+    pub fn sample_count(&self) -> usize {
+        self.sample_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::METRIC_COUNT;
+
+    fn sample(at: f64, exec: f64, heap: f64) -> InvocationSample {
+        let mut values = [0.0; METRIC_COUNT];
+        values[Metric::ExecutionTime.index()] = exec;
+        values[Metric::HeapUsed.index()] = heap;
+        InvocationSample { at_ms: at, values }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let samples = [
+            sample(0.0, 10.0, 30.0),
+            sample(1.0, 20.0, 30.0),
+            sample(2.0, 30.0, 30.0),
+        ];
+        let v = MetricVector::from_samples(samples.iter());
+        assert_eq!(v.mean(Metric::ExecutionTime), 20.0);
+        assert!((v.std_dev(Metric::ExecutionTime) - (200.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(v.mean(Metric::HeapUsed), 30.0);
+        assert_eq!(v.std_dev(Metric::HeapUsed), 0.0);
+        assert_eq!(v.cv(Metric::HeapUsed), 0.0);
+        assert_eq!(v.sample_count(), 3);
+        assert_eq!(v.mean_execution_time_ms(), 20.0);
+    }
+
+    #[test]
+    fn zero_metrics_have_zero_aggregates() {
+        let v = MetricVector::from_samples([sample(0.0, 5.0, 1.0)].iter());
+        let agg = v.aggregate(Metric::BytesReceived);
+        assert_eq!(agg.mean, 0.0);
+        assert_eq!(agg.std_dev, 0.0);
+        assert_eq!(agg.cv, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let _ = MetricVector::from_samples(std::iter::empty());
+    }
+
+    #[test]
+    fn from_store_matches_from_samples() {
+        let store: MetricStore = [sample(0.0, 2.0, 1.0), sample(1.0, 4.0, 1.0)]
+            .into_iter()
+            .collect();
+        let v = MetricVector::from_store(&store);
+        assert_eq!(v.mean(Metric::ExecutionTime), 3.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Resource-consumption monitoring — the paper's Section 3.2.
+//!
+//! AWS Lambda has no built-in resource-consumption monitoring, so the paper
+//! implements a *wrapper-style* monitor: it records 25 metrics (Table 1)
+//! before and after the inner handler runs, then writes the deltas to a
+//! DynamoDB table. This crate reproduces that design against the simulated
+//! platform:
+//!
+//! * [`metric`] — the [`Metric`] enum: all 25 Table-1
+//!   metrics with their Node.js sources.
+//! * [`monitor`] — the [`ResourceMonitor`]
+//!   wrapper: converts a ground-truth
+//!   [`ResourceUsage`](sizeless_platform::ResourceUsage) into a noisy
+//!   [`InvocationSample`], modelling collector
+//!   imprecision, and appends it to a [`MetricStore`]
+//!   (the simulated DynamoDB results table).
+//! * [`aggregate`] — per-window aggregation into the
+//!   [`MetricVector`] (mean/std/cv per metric) the
+//!   regression model consumes.
+//! * [`stability`] — the Figure-3 analysis: per-metric Mann–Whitney tests of
+//!   prefix windows against the full measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod metric;
+pub mod monitor;
+pub mod stability;
+
+pub use aggregate::{MetricAggregate, MetricVector};
+pub use metric::{Metric, METRIC_COUNT};
+pub use monitor::{InvocationSample, MetricStore, ResourceMonitor};
+pub use stability::{StabilityAnalysis, StabilityConfig};

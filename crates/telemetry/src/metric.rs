@@ -1,0 +1,291 @@
+//! The 25 monitored metrics of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+use sizeless_platform::ResourceUsage;
+use std::fmt;
+
+/// Number of monitored metrics.
+pub const METRIC_COUNT: usize = 25;
+
+/// One monitored metric, in Table-1 order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[repr(usize)]
+pub enum Metric {
+    /// Inner execution time (`process.hrtime()`), ms.
+    ExecutionTime = 0,
+    /// User CPU time (`process.cpuUsage()`), ms.
+    UserCpuTime,
+    /// System CPU time (`process.cpuUsage()`), ms.
+    SystemCpuTime,
+    /// Voluntary context switches (`process.resourceUsage()`).
+    VolContextSwitches,
+    /// Involuntary context switches (`process.resourceUsage()`).
+    InvolContextSwitches,
+    /// File system reads (`process.resourceUsage()`).
+    FileSystemReads,
+    /// File system writes (`process.resourceUsage()`).
+    FileSystemWrites,
+    /// Resident set size (`process.memoryUsage()`), MB.
+    ResidentSetSize,
+    /// Max resident set size (`process.resourceUsage()`), MB.
+    MaxResidentSetSize,
+    /// Total heap (`process.memoryUsage()`), MB.
+    TotalHeap,
+    /// Heap used (`process.memoryUsage()`), MB.
+    HeapUsed,
+    /// Physical heap (`v8.getHeapStatistics()`), MB.
+    PhysicalHeap,
+    /// Available heap (`v8.getHeapStatistics()`), MB.
+    AvailableHeap,
+    /// Heap limit (`v8.getHeapStatistics()`), MB.
+    HeapLimit,
+    /// Allocated memory / mallocMem (`v8.getHeapStatistics()`), MB.
+    AllocatedMemory,
+    /// External memory (`process.memoryUsage()`), MB.
+    ExternalMemory,
+    /// Bytecode metadata (`v8.getHeapCodeStatistics()`), KB.
+    BytecodeMetadata,
+    /// Bytes received (`/proc/net/dev`), KB.
+    BytesReceived,
+    /// Bytes transmitted (`/proc/net/dev`), KB.
+    BytesTransmitted,
+    /// Packages received (`/proc/net/dev`).
+    PackagesReceived,
+    /// Packages transmitted (`/proc/net/dev`).
+    PackagesTransmitted,
+    /// Min event loop lag (`perf_hooks`), ms.
+    MinEventLoopLag,
+    /// Max event loop lag (`perf_hooks`), ms.
+    MaxEventLoopLag,
+    /// Mean event loop lag (`perf_hooks`), ms.
+    MeanEventLoopLag,
+    /// Std of event loop lag (`perf_hooks`), ms.
+    StdEventLoopLag,
+}
+
+impl Metric {
+    /// All metrics in Table-1 order.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::ExecutionTime,
+        Metric::UserCpuTime,
+        Metric::SystemCpuTime,
+        Metric::VolContextSwitches,
+        Metric::InvolContextSwitches,
+        Metric::FileSystemReads,
+        Metric::FileSystemWrites,
+        Metric::ResidentSetSize,
+        Metric::MaxResidentSetSize,
+        Metric::TotalHeap,
+        Metric::HeapUsed,
+        Metric::PhysicalHeap,
+        Metric::AvailableHeap,
+        Metric::HeapLimit,
+        Metric::AllocatedMemory,
+        Metric::ExternalMemory,
+        Metric::BytecodeMetadata,
+        Metric::BytesReceived,
+        Metric::BytesTransmitted,
+        Metric::PackagesReceived,
+        Metric::PackagesTransmitted,
+        Metric::MinEventLoopLag,
+        Metric::MaxEventLoopLag,
+        Metric::MeanEventLoopLag,
+        Metric::StdEventLoopLag,
+    ];
+
+    /// The metric's index in Table-1 order.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The Node.js API the paper collects this metric from (Table 1).
+    pub fn source(self) -> &'static str {
+        use Metric::*;
+        match self {
+            ExecutionTime => "process.hrtime()",
+            UserCpuTime | SystemCpuTime => "process.cpuUsage()",
+            VolContextSwitches | InvolContextSwitches | FileSystemReads | FileSystemWrites
+            | MaxResidentSetSize => "process.resourceUsage()",
+            ResidentSetSize | TotalHeap | HeapUsed | ExternalMemory => "process.memoryUsage()",
+            PhysicalHeap | AvailableHeap | HeapLimit | AllocatedMemory => {
+                "v8.getHeapStatistics()"
+            }
+            BytecodeMetadata => "v8.getHeapCodeStatistics()",
+            BytesReceived | BytesTransmitted | PackagesReceived | PackagesTransmitted => {
+                "/proc/net/dev"
+            }
+            MinEventLoopLag | MaxEventLoopLag | MeanEventLoopLag | StdEventLoopLag => {
+                "perf_hooks"
+            }
+        }
+    }
+
+    /// Extracts the metric's ground-truth value from a usage record.
+    pub fn extract(self, usage: &ResourceUsage) -> f64 {
+        use Metric::*;
+        match self {
+            ExecutionTime => usage.duration_ms,
+            UserCpuTime => usage.user_cpu_ms,
+            SystemCpuTime => usage.sys_cpu_ms,
+            VolContextSwitches => usage.vol_ctx_switches,
+            InvolContextSwitches => usage.invol_ctx_switches,
+            FileSystemReads => usage.fs_reads,
+            FileSystemWrites => usage.fs_writes,
+            ResidentSetSize => usage.rss_mb,
+            MaxResidentSetSize => usage.max_rss_mb,
+            TotalHeap => usage.heap_total_mb,
+            HeapUsed => usage.heap_used_mb,
+            PhysicalHeap => usage.physical_heap_mb,
+            AvailableHeap => usage.available_heap_mb,
+            HeapLimit => usage.heap_limit_mb,
+            AllocatedMemory => usage.malloced_mb,
+            ExternalMemory => usage.external_mb,
+            BytecodeMetadata => usage.bytecode_metadata_kb,
+            BytesReceived => usage.net_rx_kb,
+            BytesTransmitted => usage.net_tx_kb,
+            PackagesReceived => usage.pkts_rx,
+            PackagesTransmitted => usage.pkts_tx,
+            MinEventLoopLag => usage.loop_lag_min_ms,
+            MaxEventLoopLag => usage.loop_lag_max_ms,
+            MeanEventLoopLag => usage.loop_lag_mean_ms,
+            StdEventLoopLag => usage.loop_lag_std_ms,
+        }
+    }
+
+    /// Relative measurement noise (σ) of the collector for this metric.
+    ///
+    /// Timers are precise; kernel counters are exact but the *sampling
+    /// moment* wobbles; memory statistics depend on GC timing and are the
+    /// noisiest — which is why `mallocMem` is the slowest metric to
+    /// stabilize in the paper's Figure 3.
+    pub fn collector_noise_sigma(self) -> f64 {
+        use Metric::*;
+        match self {
+            ExecutionTime => 0.0, // the wrapper times exactly
+            UserCpuTime | SystemCpuTime => 0.015,
+            VolContextSwitches | InvolContextSwitches => 0.05,
+            FileSystemReads | FileSystemWrites => 0.02,
+            ResidentSetSize | MaxResidentSetSize => 0.03,
+            TotalHeap | HeapUsed => 0.04,
+            PhysicalHeap => 0.05,
+            AvailableHeap => 0.04,
+            HeapLimit => 0.0, // configuration constant
+            AllocatedMemory => 0.12, // GC-timing dependent: slowest to stabilize
+            ExternalMemory => 0.06,
+            BytecodeMetadata => 0.01,
+            BytesReceived | BytesTransmitted => 0.01,
+            PackagesReceived | PackagesTransmitted => 0.02,
+            MinEventLoopLag => 0.10,
+            MaxEventLoopLag => 0.08,
+            MeanEventLoopLag => 0.08,
+            StdEventLoopLag => 0.10,
+        }
+    }
+
+    /// A short machine-friendly name.
+    pub fn name(self) -> &'static str {
+        use Metric::*;
+        match self {
+            ExecutionTime => "execution_time",
+            UserCpuTime => "user_cpu_time",
+            SystemCpuTime => "system_cpu_time",
+            VolContextSwitches => "vol_context_switches",
+            InvolContextSwitches => "invol_context_switches",
+            FileSystemReads => "fs_reads",
+            FileSystemWrites => "fs_writes",
+            ResidentSetSize => "rss",
+            MaxResidentSetSize => "max_rss",
+            TotalHeap => "heap_total",
+            HeapUsed => "heap_used",
+            PhysicalHeap => "heap_physical",
+            AvailableHeap => "heap_available",
+            HeapLimit => "heap_limit",
+            AllocatedMemory => "malloc_mem",
+            ExternalMemory => "external_mem",
+            BytecodeMetadata => "bytecode_metadata",
+            BytesReceived => "bytes_received",
+            BytesTransmitted => "bytes_transmitted",
+            PackagesReceived => "packages_received",
+            PackagesTransmitted => "packages_transmitted",
+            MinEventLoopLag => "loop_lag_min",
+            MaxEventLoopLag => "loop_lag_max",
+            MeanEventLoopLag => "loop_lag_mean",
+            StdEventLoopLag => "loop_lag_std",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_25_distinct_metrics_in_index_order() {
+        assert_eq!(Metric::ALL.len(), METRIC_COUNT);
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        let names: std::collections::BTreeSet<&str> =
+            Metric::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), METRIC_COUNT);
+    }
+
+    #[test]
+    fn sources_match_table_1() {
+        assert_eq!(Metric::ExecutionTime.source(), "process.hrtime()");
+        assert_eq!(Metric::UserCpuTime.source(), "process.cpuUsage()");
+        assert_eq!(Metric::VolContextSwitches.source(), "process.resourceUsage()");
+        assert_eq!(Metric::HeapUsed.source(), "process.memoryUsage()");
+        assert_eq!(Metric::HeapLimit.source(), "v8.getHeapStatistics()");
+        assert_eq!(Metric::BytecodeMetadata.source(), "v8.getHeapCodeStatistics()");
+        assert_eq!(Metric::BytesReceived.source(), "/proc/net/dev");
+        assert_eq!(Metric::MaxEventLoopLag.source(), "perf_hooks");
+    }
+
+    #[test]
+    fn extract_round_trips_usage_fields() {
+        let usage = ResourceUsage {
+            duration_ms: 12.0,
+            user_cpu_ms: 8.0,
+            heap_used_mb: 33.0,
+            net_rx_kb: 44.0,
+            loop_lag_std_ms: 0.5,
+            ..ResourceUsage::default()
+        };
+        assert_eq!(Metric::ExecutionTime.extract(&usage), 12.0);
+        assert_eq!(Metric::UserCpuTime.extract(&usage), 8.0);
+        assert_eq!(Metric::HeapUsed.extract(&usage), 33.0);
+        assert_eq!(Metric::BytesReceived.extract(&usage), 44.0);
+        assert_eq!(Metric::StdEventLoopLag.extract(&usage), 0.5);
+    }
+
+    #[test]
+    fn malloc_mem_is_noisiest_memory_metric() {
+        // Matches Figure 3: mallocMem is the last metric to become stable.
+        let malloc = Metric::AllocatedMemory.collector_noise_sigma();
+        for m in Metric::ALL {
+            if m != Metric::AllocatedMemory {
+                assert!(malloc >= m.collector_noise_sigma(), "{m} noisier than mallocMem");
+            }
+        }
+    }
+
+    #[test]
+    fn execution_time_and_heap_limit_are_exact() {
+        assert_eq!(Metric::ExecutionTime.collector_noise_sigma(), 0.0);
+        assert_eq!(Metric::HeapLimit.collector_noise_sigma(), 0.0);
+    }
+
+    #[test]
+    fn display_uses_snake_case_names() {
+        assert_eq!(Metric::AllocatedMemory.to_string(), "malloc_mem");
+    }
+}

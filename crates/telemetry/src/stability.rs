@@ -1,0 +1,276 @@
+//! Metric-stability analysis — the paper's Figure 3.
+//!
+//! Before generating the training dataset, the paper determines how long
+//! each performance experiment must run for the reported metrics to be
+//! stable: 50 functions are measured for fifteen minutes at 30 rps, and for
+//! each metric and each prefix window (first minute, first two minutes, …)
+//! a Mann–Whitney U test checks whether the prefix comes from the same
+//! distribution as the full measurement. Figure 3 plots, per window length,
+//! for how many functions each metric is still unstable; `mallocMem` is the
+//! last metric to stabilize (at ten minutes), which fixes the experiment
+//! duration.
+
+use crate::metric::{Metric, METRIC_COUNT};
+use crate::monitor::MetricStore;
+use serde::{Deserialize, Serialize};
+use sizeless_stats::cliffs::{cliffs_delta, DeltaMagnitude};
+use sizeless_stats::mannwhitney::same_distribution;
+
+/// Configuration of the stability analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityConfig {
+    /// Full measurement duration, ms (paper: 15 minutes).
+    pub total_duration_ms: f64,
+    /// Prefix-window step, ms (paper: 1 minute).
+    pub window_step_ms: f64,
+    /// Significance level of the Mann–Whitney test.
+    pub alpha: f64,
+}
+
+impl StabilityConfig {
+    /// The paper's setup: 15 minutes total, 1-minute windows, α = 0.05.
+    pub fn paper() -> Self {
+        StabilityConfig {
+            total_duration_ms: 15.0 * 60_000.0,
+            window_step_ms: 60_000.0,
+            alpha: 0.05,
+        }
+    }
+
+    /// The prefix-window lengths analysed (excludes the full window, which
+    /// is trivially stable against itself).
+    pub fn windows_ms(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut w = self.window_step_ms;
+        while w < self.total_duration_ms {
+            out.push(w);
+            w += self.window_step_ms;
+        }
+        out
+    }
+}
+
+impl Default for StabilityConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Stability verdicts for one function: per window, per metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityAnalysis {
+    windows_ms: Vec<f64>,
+    /// `stable[w][m]` — is metric `m` stable in window `w`?
+    stable: Vec<[bool; METRIC_COUNT]>,
+}
+
+impl StabilityAnalysis {
+    /// Runs the analysis for one function's measurement.
+    ///
+    /// A metric is *stable* in a window when the Mann–Whitney U test cannot
+    /// distinguish the window's samples from the full measurement at
+    /// `cfg.alpha`. Windows with no samples count as unstable.
+    pub fn analyze(store: &MetricStore, cfg: &StabilityConfig) -> Self {
+        let windows_ms = cfg.windows_ms();
+        let mut stable = Vec::with_capacity(windows_ms.len());
+        for &w in &windows_ms {
+            let mut row = [false; METRIC_COUNT];
+            for metric in Metric::ALL {
+                let prefix = store.series_until(metric, w);
+                let full = store.series(metric);
+                row[metric.index()] = !prefix.is_empty()
+                    && !full.is_empty()
+                    && same_distribution(&prefix, &full, cfg.alpha).unwrap_or(false);
+            }
+            stable.push(row);
+        }
+        StabilityAnalysis { windows_ms, stable }
+    }
+
+    /// The analysed window lengths, ms.
+    pub fn windows_ms(&self) -> &[f64] {
+        &self.windows_ms
+    }
+
+    /// Whether `metric` is stable in window `window_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_idx` is out of range.
+    pub fn is_stable(&self, metric: Metric, window_idx: usize) -> bool {
+        self.stable[window_idx][metric.index()]
+    }
+
+    /// The shortest window length (ms) from which `metric` is stable in
+    /// *every* subsequent window, or `None` if it never settles.
+    pub fn stable_from_ms(&self, metric: Metric) -> Option<f64> {
+        let mut from = None;
+        for (i, &w) in self.windows_ms.iter().enumerate() {
+            if self.is_stable(metric, i) {
+                if from.is_none() {
+                    from = Some(w);
+                }
+            } else {
+                from = None;
+            }
+        }
+        from
+    }
+
+    /// Cliff's-delta magnitude between the first window and the full
+    /// measurement for `metric` — the paper's secondary check that even
+    /// statistically detectable differences after one minute are negligible.
+    pub fn first_window_effect(
+        &self,
+        store: &MetricStore,
+        metric: Metric,
+    ) -> Option<DeltaMagnitude> {
+        let w = *self.windows_ms.first()?;
+        let prefix = store.series_until(metric, w);
+        let full = store.series(metric);
+        if prefix.is_empty() || full.is_empty() {
+            return None;
+        }
+        cliffs_delta(&prefix, &full)
+            .ok()
+            .map(DeltaMagnitude::classify)
+    }
+}
+
+/// Figure-3 aggregation: for each window length, for each metric, the number
+/// of functions (analyses) for which the metric is **unstable**.
+pub fn unstable_counts(analyses: &[StabilityAnalysis]) -> Vec<[usize; METRIC_COUNT]> {
+    if analyses.is_empty() {
+        return Vec::new();
+    }
+    let n_windows = analyses[0].windows_ms().len();
+    let mut counts = vec![[0usize; METRIC_COUNT]; n_windows];
+    for a in analyses {
+        assert_eq!(
+            a.windows_ms().len(),
+            n_windows,
+            "all analyses must use the same window grid"
+        );
+        for (w, row) in counts.iter_mut().enumerate() {
+            for metric in Metric::ALL {
+                if !a.is_stable(metric, w) {
+                    row[metric.index()] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::InvocationSample;
+    use sizeless_engine::RngStream;
+
+    /// Builds a store where a metric's distribution is stationary (or
+    /// drifts, if `drift` is set) over `total_ms`.
+    fn store_with(metric: Metric, drift: f64, total_ms: f64, seed: u64) -> MetricStore {
+        let mut rng = RngStream::from_seed(seed, "stab-test");
+        let mut store = MetricStore::new();
+        let mut t = 0.0;
+        while t < total_ms {
+            let mut values = [1.0; METRIC_COUNT];
+            let progress = t / total_ms;
+            values[metric.index()] = 100.0 + drift * progress + 5.0 * rng.standard_normal();
+            // Give every other metric benign stationary noise too.
+            for m in Metric::ALL {
+                if m != metric {
+                    values[m.index()] = 10.0 + rng.standard_normal();
+                }
+            }
+            store.record(InvocationSample { at_ms: t, values });
+            t += 200.0; // 5 rps
+        }
+        store
+    }
+
+    fn quick_cfg() -> StabilityConfig {
+        StabilityConfig {
+            total_duration_ms: 60_000.0,
+            window_step_ms: 10_000.0,
+            alpha: 0.05,
+        }
+    }
+
+    #[test]
+    fn windows_exclude_full_duration() {
+        let cfg = quick_cfg();
+        let w = cfg.windows_ms();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0], 10_000.0);
+        assert_eq!(*w.last().unwrap(), 50_000.0);
+    }
+
+    #[test]
+    fn stationary_metric_is_stable_everywhere() {
+        let store = store_with(Metric::HeapUsed, 0.0, 60_000.0, 1);
+        let a = StabilityAnalysis::analyze(&store, &quick_cfg());
+        for w in 0..a.windows_ms().len() {
+            assert!(a.is_stable(Metric::HeapUsed, w), "window {w} unstable");
+        }
+        assert_eq!(a.stable_from_ms(Metric::HeapUsed), Some(10_000.0));
+    }
+
+    #[test]
+    fn drifting_metric_is_unstable_early() {
+        // Strong upward drift: early windows differ from the full sample.
+        let store = store_with(Metric::AllocatedMemory, 300.0, 60_000.0, 2);
+        let a = StabilityAnalysis::analyze(&store, &quick_cfg());
+        assert!(!a.is_stable(Metric::AllocatedMemory, 0));
+        // Stationary companion metric is unaffected.
+        assert!(a.is_stable(Metric::HeapUsed, 0));
+    }
+
+    #[test]
+    fn stable_from_requires_all_later_windows_stable() {
+        let store = store_with(Metric::AllocatedMemory, 300.0, 60_000.0, 3);
+        let a = StabilityAnalysis::analyze(&store, &quick_cfg());
+        if let Some(from) = a.stable_from_ms(Metric::AllocatedMemory) {
+            let idx = a
+                .windows_ms()
+                .iter()
+                .position(|&w| w == from)
+                .expect("window exists");
+            for w in idx..a.windows_ms().len() {
+                assert!(a.is_stable(Metric::AllocatedMemory, w));
+            }
+        }
+    }
+
+    #[test]
+    fn first_window_effect_negligible_for_stationary() {
+        let store = store_with(Metric::HeapUsed, 0.0, 60_000.0, 4);
+        let a = StabilityAnalysis::analyze(&store, &quick_cfg());
+        assert_eq!(
+            a.first_window_effect(&store, Metric::HeapUsed),
+            Some(DeltaMagnitude::Negligible)
+        );
+    }
+
+    #[test]
+    fn unstable_counts_aggregates_across_functions() {
+        let cfg = quick_cfg();
+        let analyses: Vec<StabilityAnalysis> = (0..6)
+            .map(|i| {
+                let drift = if i < 2 { 300.0 } else { 0.0 };
+                let store = store_with(Metric::AllocatedMemory, drift, 60_000.0, 10 + i);
+                StabilityAnalysis::analyze(&store, &cfg)
+            })
+            .collect();
+        let counts = unstable_counts(&analyses);
+        assert_eq!(counts.len(), 5);
+        // The two drifting functions are unstable in the first window.
+        assert!(counts[0][Metric::AllocatedMemory.index()] >= 2);
+    }
+
+    #[test]
+    fn empty_analyses_give_empty_counts() {
+        assert!(unstable_counts(&[]).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Randomized multiple interleaved trials.
+//!
+//! The case-study evaluation runs **ten measurement repetitions per memory
+//! size**, executed as randomized multiple interleaved trials (Abedi &
+//! Brecht, ICPE'17): instead of measuring configuration A ten times and then
+//! configuration B ten times — which confounds results with slow platform
+//! drift — each repetition measures every configuration once, in a freshly
+//! shuffled order.
+
+use crate::harness::{run_experiment, ExperimentConfig, MeasurementSummary};
+use serde::{Deserialize, Serialize};
+use sizeless_engine::RngStream;
+use sizeless_platform::{MemorySize, Platform, ResourceProfile};
+
+/// A trial plan: which (function, memory size) configurations to measure and
+/// how often.
+#[derive(Debug, Clone)]
+pub struct TrialPlan<'a> {
+    configurations: Vec<(&'a ResourceProfile, MemorySize)>,
+    repetitions: usize,
+}
+
+impl<'a> TrialPlan<'a> {
+    /// A plan measuring each profile at each of the given sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions` is zero or no configuration results.
+    pub fn cross(
+        profiles: impl IntoIterator<Item = &'a ResourceProfile>,
+        sizes: &[MemorySize],
+        repetitions: usize,
+    ) -> Self {
+        assert!(repetitions > 0, "at least one repetition required");
+        let configurations: Vec<_> = profiles
+            .into_iter()
+            .flat_map(|p| sizes.iter().map(move |&m| (p, m)))
+            .collect();
+        assert!(!configurations.is_empty(), "plan has no configurations");
+        TrialPlan {
+            configurations,
+            repetitions,
+        }
+    }
+
+    /// Number of configurations per repetition.
+    pub fn configuration_count(&self) -> usize {
+        self.configurations.len()
+    }
+
+    /// Number of repetitions.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+}
+
+/// Results of an interleaved-trials run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterleavedTrials {
+    /// `results[rep]` holds one summary per configuration, in the shuffled
+    /// execution order of that repetition.
+    pub repetitions: Vec<Vec<MeasurementSummary>>,
+}
+
+impl InterleavedTrials {
+    /// Executes a plan. Each repetition shuffles the configuration order and
+    /// seeds every experiment with `(seed, repetition, configuration)` so
+    /// repeats are independent but reproducible.
+    pub fn run(
+        platform: &Platform,
+        plan: &TrialPlan<'_>,
+        cfg: &ExperimentConfig,
+        seed: u64,
+    ) -> Self {
+        let mut shuffle_rng = RngStream::from_seed(seed, "trial-shuffle");
+        let mut repetitions = Vec::with_capacity(plan.repetitions);
+        for rep in 0..plan.repetitions {
+            let mut order: Vec<usize> = (0..plan.configurations.len()).collect();
+            shuffle_rng.shuffle(&mut order);
+            let mut results = Vec::with_capacity(order.len());
+            for idx in order {
+                let (profile, memory) = plan.configurations[idx];
+                let exp_seed = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add((rep as u64) << 32)
+                    .wrapping_add(idx as u64);
+                let m = run_experiment(platform, profile, memory, &cfg.with_seed(exp_seed));
+                results.push(m.summary);
+            }
+            repetitions.push(results);
+        }
+        InterleavedTrials { repetitions }
+    }
+
+    /// All mean execution times observed for a configuration, one per
+    /// repetition.
+    pub fn execution_times_ms(&self, function: &str, memory: MemorySize) -> Vec<f64> {
+        self.repetitions
+            .iter()
+            .flat_map(|rep| {
+                rep.iter()
+                    .filter(|s| s.function == function && s.memory == memory)
+                    .map(|s| s.mean_execution_ms)
+            })
+            .collect()
+    }
+
+    /// Mean over repetitions of the mean execution time of a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was not part of the plan.
+    pub fn mean_execution_ms(&self, function: &str, memory: MemorySize) -> f64 {
+        let xs = self.execution_times_ms(function, memory);
+        assert!(!xs.is_empty(), "configuration {function}@{memory} not measured");
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    /// Mean over repetitions of the mean cost per invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was not part of the plan.
+    pub fn mean_cost_usd(&self, function: &str, memory: MemorySize) -> f64 {
+        let xs: Vec<f64> = self
+            .repetitions
+            .iter()
+            .flat_map(|rep| {
+                rep.iter()
+                    .filter(|s| s.function == function && s.memory == memory)
+                    .map(|s| s.mean_cost_usd)
+            })
+            .collect();
+        assert!(!xs.is_empty(), "configuration {function}@{memory} not measured");
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::Stage;
+
+    fn profiles() -> Vec<ResourceProfile> {
+        vec![
+            ResourceProfile::builder("fn-a")
+                .stage(Stage::cpu("w", 15.0))
+                .build(),
+            ResourceProfile::builder("fn-b")
+                .stage(Stage::cpu("w", 45.0))
+                .build(),
+        ]
+    }
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            duration_ms: 3_000.0,
+            rps: 10.0,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn runs_every_configuration_in_every_repetition() {
+        let ps = profiles();
+        let sizes = [MemorySize::MB_128, MemorySize::MB_1024];
+        let plan = TrialPlan::cross(ps.iter(), &sizes, 3);
+        assert_eq!(plan.configuration_count(), 4);
+        let trials = InterleavedTrials::run(&Platform::aws_like(), &plan, &tiny_cfg(), 1);
+        assert_eq!(trials.repetitions.len(), 3);
+        for rep in &trials.repetitions {
+            assert_eq!(rep.len(), 4);
+        }
+        assert_eq!(trials.execution_times_ms("fn-a", MemorySize::MB_128).len(), 3);
+    }
+
+    #[test]
+    fn orders_are_shuffled_between_repetitions() {
+        let ps = profiles();
+        let sizes = MemorySize::STANDARD;
+        let plan = TrialPlan::cross(ps.iter(), &sizes, 4);
+        let trials = InterleavedTrials::run(&Platform::aws_like(), &plan, &tiny_cfg(), 2);
+        let orders: Vec<Vec<(String, MemorySize)>> = trials
+            .repetitions
+            .iter()
+            .map(|rep| {
+                rep.iter()
+                    .map(|s| (s.function.clone(), s.memory))
+                    .collect()
+            })
+            .collect();
+        // With 12 configurations and 4 reps, identical orders are (12!)⁻³
+        // unlikely; any repeated order indicates missing shuffling.
+        assert!(
+            orders.windows(2).any(|w| w[0] != w[1]),
+            "orders never changed"
+        );
+    }
+
+    #[test]
+    fn aggregates_reflect_function_speed() {
+        let ps = profiles();
+        let sizes = [MemorySize::MB_512];
+        let plan = TrialPlan::cross(ps.iter(), &sizes, 2);
+        let trials = InterleavedTrials::run(&Platform::aws_like(), &plan, &tiny_cfg(), 3);
+        let a = trials.mean_execution_ms("fn-a", MemorySize::MB_512);
+        let b = trials.mean_execution_ms("fn-b", MemorySize::MB_512);
+        assert!(b > 2.0 * a, "a={a} b={b}");
+        assert!(trials.mean_cost_usd("fn-a", MemorySize::MB_512) > 0.0);
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let ps = profiles();
+        let sizes = [MemorySize::MB_256];
+        let plan = TrialPlan::cross(ps.iter(), &sizes, 2);
+        let t1 = InterleavedTrials::run(&Platform::aws_like(), &plan, &tiny_cfg(), 9);
+        let t2 = InterleavedTrials::run(&Platform::aws_like(), &plan, &tiny_cfg(), 9);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not measured")]
+    fn unknown_configuration_panics() {
+        let ps = profiles();
+        let plan = TrialPlan::cross(ps.iter(), &[MemorySize::MB_128], 1);
+        let trials = InterleavedTrials::run(&Platform::aws_like(), &plan, &tiny_cfg(), 4);
+        let _ = trials.mean_execution_ms("fn-a", MemorySize::MB_3008);
+    }
+}

@@ -1,0 +1,76 @@
+//! Explore the platform simulator itself: how execution time, cost, and the
+//! monitored metrics respond to the memory-size knob for different workload
+//! shapes — the Figure-1 phenomenon, interactively.
+//!
+//! ```bash
+//! cargo run --release --example platform_exploration
+//! ```
+
+use sizeless::engine::RngStream;
+use sizeless::funcgen::MotivatingFunction;
+use sizeless::platform::{MemorySize, Platform, ResourceProfile, Stage};
+use sizeless::telemetry::{Metric, ResourceMonitor};
+
+fn main() {
+    let platform = Platform::aws_like();
+
+    // 1. The four canonical scaling shapes from the paper's Figure 1.
+    println!("Expected execution time [ms] per memory size:");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "function", "128", "256", "512", "1024", "2048", "3008"
+    );
+    for f in MotivatingFunction::ALL {
+        let profile = f.profile();
+        print!("{:<14}", f.name());
+        for m in MemorySize::STANDARD {
+            print!(" {:>8.1}", platform.expected_duration_ms(&profile, m));
+        }
+        println!();
+    }
+
+    // 2. Cost per execution: the counter-intuitive part. Sometimes bigger
+    //    is cheaper.
+    println!("\nExpected cost per execution [micro-USD]:");
+    for f in MotivatingFunction::ALL {
+        let profile = f.profile();
+        print!("{:<14}", f.name());
+        for m in MemorySize::STANDARD {
+            print!(" {:>8.2}", platform.expected_cost_usd(&profile, m) * 1e6);
+        }
+        println!();
+    }
+
+    // 3. What the wrapper-style monitor sees for a single invocation.
+    let profile = ResourceProfile::builder("demo")
+        .stage(Stage::cpu_parallel("hash", 60.0, 3.0).with_working_set(20.0))
+        .stage(Stage::file_io("spool", 512.0, 256.0))
+        .build();
+    let mut rng = RngStream::from_seed(7, "exploration");
+    let outcome = platform.execute(&profile, MemorySize::MB_512, &mut rng);
+    let monitor = ResourceMonitor::new();
+    let sample = monitor.observe(0.0, &outcome.usage, &mut rng);
+    println!("\nOne monitored invocation at 512 MB ({:.1} ms):", outcome.duration_ms);
+    for metric in [
+        Metric::UserCpuTime,
+        Metric::SystemCpuTime,
+        Metric::VolContextSwitches,
+        Metric::InvolContextSwitches,
+        Metric::FileSystemWrites,
+        Metric::HeapUsed,
+        Metric::MaxEventLoopLag,
+    ] {
+        println!("  {:<24} {:>10.2}   (source: {})", metric.name(), sample.value(metric), metric.source());
+    }
+
+    // 4. Cold starts shrink with memory, too.
+    println!("\nExpected cold-start init time [ms]:");
+    for m in MemorySize::STANDARD {
+        println!(
+            "  {m:>7}: {:7.1}",
+            platform
+                .cold_start_model()
+                .expected_init_ms(&profile, m, platform.laws())
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration tests for the paper's proposed extensions: full-grid
+//! interpolation, drift detection, and the related-work baselines.
+
+use sizeless::core::baselines::{CoseOptimizer, PowerTuning};
+use sizeless::core::drift::{detect_drift, watched_metrics, DriftConfig};
+use sizeless::core::interpolate::{optimize_full_grid, TimeInterpolant};
+use sizeless::core::optimizer::{MemoryOptimizer, Tradeoff};
+use sizeless::engine::RngStream;
+use sizeless::platform::{
+    MemorySize, Platform, PricingModel, ResourceProfile, ServiceCall, ServiceKind, Stage,
+};
+use sizeless::workload::{run_experiment, ExperimentConfig};
+use std::collections::BTreeMap;
+
+fn monitoring_cfg(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        duration_ms: 8_000.0,
+        rps: 15.0,
+        seed,
+    }
+}
+
+#[test]
+fn full_grid_interpolation_tracks_the_oracle() {
+    // Fit the interpolant on oracle knots of a mixed function and check the
+    // intermediate 64 MB sizes against the simulator.
+    let platform = Platform::aws_like();
+    let profile = ResourceProfile::builder("mixed")
+        .stage(Stage::cpu("work", 140.0).with_working_set(30.0))
+        .stage(Stage::service(
+            "db",
+            ServiceCall::new(ServiceKind::DynamoDb, 1, 10.0),
+        ))
+        .build();
+    let knots: BTreeMap<MemorySize, f64> = MemorySize::STANDARD
+        .iter()
+        .map(|&m| (m, platform.expected_duration_ms(&profile, m)))
+        .collect();
+    let it = TimeInterpolant::fit(&knots);
+    let mut worst = 0.0f64;
+    for m in MemorySize::all_increments() {
+        let oracle = platform.expected_duration_ms(&profile, m);
+        let err = (it.eval(m) - oracle).abs() / oracle;
+        worst = worst.max(err);
+    }
+    assert!(worst < 0.2, "worst interpolation error {worst:.3}");
+}
+
+#[test]
+fn full_grid_optimizer_explores_all_increments() {
+    let times: BTreeMap<MemorySize, f64> = MemorySize::STANDARD
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, 2000.0 / (1 << i) as f64 + 30.0))
+        .collect();
+    let predicted = fake_prediction(times);
+    let optimizer = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::BALANCED);
+    let outcome = optimize_full_grid(&predicted, &optimizer);
+    assert_eq!(outcome.scores.len(), 46);
+    // The chosen size is valid and at least as good as every standard size.
+    let chosen_score = outcome.scores_for(outcome.chosen).s_total;
+    for m in MemorySize::STANDARD {
+        assert!(chosen_score <= outcome.scores_for(m).s_total + 1e-12);
+    }
+}
+
+/// Builds a `PredictedTimes` through the public API by training nothing:
+/// the optimizer only needs the map, so go through a tiny real model would
+/// be overkill — instead use serde to construct it.
+fn fake_prediction(times: BTreeMap<MemorySize, f64>) -> sizeless::core::model::PredictedTimes {
+    let json = serde_json::json!({
+        "base": 256,
+        "times_ms": times
+            .iter()
+            .map(|(m, t)| (m.mb().to_string(), serde_json::json!(t)))
+            .collect::<serde_json::Map<String, serde_json::Value>>(),
+    });
+    serde_json::from_value(json).expect("valid PredictedTimes shape")
+}
+
+#[test]
+fn drift_detection_catches_a_real_workload_shift() {
+    let platform = Platform::aws_like();
+    let before = ResourceProfile::builder("svc")
+        .stage(Stage::cpu("parse", 20.0))
+        .stage(Stage::service(
+            "db",
+            ServiceCall::new(ServiceKind::DynamoDb, 1, 8.0),
+        ))
+        .build();
+    // Payload grows 6×: bytes-received distribution shifts.
+    let after = ResourceProfile::builder("svc")
+        .stage(Stage::cpu("parse", 20.0))
+        .stage(Stage::service(
+            "db",
+            ServiceCall::new(ServiceKind::DynamoDb, 1, 48.0),
+        ))
+        .build();
+
+    let reference = run_experiment(&platform, &before, MemorySize::MB_256, &monitoring_cfg(1));
+    let same = run_experiment(&platform, &before, MemorySize::MB_256, &monitoring_cfg(2));
+    let shifted = run_experiment(&platform, &after, MemorySize::MB_256, &monitoring_cfg(3));
+
+    let cfg = DriftConfig::default();
+    let no_drift = detect_drift(&reference.store, &same.store, &watched_metrics(), &cfg);
+    assert!(!no_drift.should_reoptimize(), "{:?}", no_drift.drifted);
+
+    let drift = detect_drift(&reference.store, &shifted.store, &watched_metrics(), &cfg);
+    assert!(drift.should_reoptimize());
+    assert!(
+        drift
+            .drifted
+            .iter()
+            .any(|d| d.metric == sizeless::telemetry::Metric::BytesReceived),
+        "{:?}",
+        drift.drifted
+    );
+}
+
+#[test]
+fn baselines_agree_on_clear_cut_functions() {
+    let platform = Platform::aws_like();
+    let optimizer = MemoryOptimizer::new(PricingModel::aws(), Tradeoff::COST_LEANING);
+    let test = ExperimentConfig {
+        duration_ms: 4_000.0,
+        rps: 15.0,
+        seed: 5,
+    };
+    let flat = ResourceProfile::builder("flat")
+        .stage(Stage::service(
+            "pay",
+            ServiceCall::new(ServiceKind::ExternalPayment, 1, 2.0),
+        ))
+        .build();
+
+    let power = PowerTuning::new(test).optimize(&platform, &flat, &optimizer);
+    let mut rng = RngStream::from_seed(6, "ext-base");
+    let cose = CoseOptimizer::new(test, 3).optimize(&platform, &flat, &optimizer, &mut rng);
+
+    // A flat function at t = 0.75 is a trivial decision: smallest size.
+    assert_eq!(power.chosen, MemorySize::MB_128);
+    assert_eq!(cose.chosen, MemorySize::MB_128);
+    assert_eq!(power.measurements, 6);
+    assert!(cose.measurements <= 3);
+}

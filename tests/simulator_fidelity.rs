@@ -1,0 +1,137 @@
+//! Fidelity tests: the simulated platform reproduces the *measured*
+//! phenomena the paper builds on — not just in expectation, but through the
+//! full measurement pipeline (load generation → execution → monitoring →
+//! aggregation).
+
+use sizeless::funcgen::MotivatingFunction;
+use sizeless::platform::{MemorySize, Platform};
+use sizeless::telemetry::Metric;
+use sizeless::workload::{run_experiment, ExperimentConfig};
+
+fn measured_mean(platform: &Platform, f: MotivatingFunction, m: MemorySize) -> f64 {
+    let cfg = ExperimentConfig {
+        duration_ms: 20_000.0,
+        rps: 8.0,
+        seed: 42,
+    };
+    run_experiment(platform, &f.profile(), m, &cfg)
+        .summary
+        .mean_execution_ms
+}
+
+#[test]
+fn figure_1_shapes_hold_under_measurement() {
+    let platform = Platform::aws_like();
+
+    // InvertMatrix: ~halves from 128 → 256.
+    let im_128 = measured_mean(&platform, MotivatingFunction::InvertMatrix, MemorySize::MB_128);
+    let im_256 = measured_mean(&platform, MotivatingFunction::InvertMatrix, MemorySize::MB_256);
+    let drop = 1.0 - im_256 / im_128;
+    assert!((0.42..0.58).contains(&drop), "InvertMatrix drop {drop:.3}");
+
+    // API-Call: flat within 15%.
+    let api_128 = measured_mean(&platform, MotivatingFunction::ApiCall, MemorySize::MB_128);
+    let api_3008 = measured_mean(&platform, MotivatingFunction::ApiCall, MemorySize::MB_3008);
+    assert!(
+        ((api_128 - api_3008) / api_128).abs() < 0.15,
+        "API-Call {api_128:.1} vs {api_3008:.1}"
+    );
+}
+
+#[test]
+fn prime_numbers_is_faster_and_cheaper_at_2048_under_measurement() {
+    // The paper's most striking observation, end to end.
+    let platform = Platform::aws_like();
+    let profile = MotivatingFunction::PrimeNumbers.profile();
+    let cfg = ExperimentConfig {
+        duration_ms: 30_000.0,
+        rps: 2.0, // slow function: keep instance counts sane
+        seed: 7,
+    };
+    let at_128 = run_experiment(&platform, &profile, MemorySize::MB_128, &cfg).summary;
+    let at_2048 = run_experiment(&platform, &profile, MemorySize::MB_2048, &cfg).summary;
+
+    let speedup = 1.0 - at_2048.mean_execution_ms / at_128.mean_execution_ms;
+    assert!(speedup > 0.9, "speedup {speedup:.3} (paper: 92.9%)");
+    assert!(
+        at_2048.mean_cost_usd < at_128.mean_cost_usd,
+        "cost {:.2e} vs {:.2e} (paper: 13.3% cheaper)",
+        at_2048.mean_cost_usd,
+        at_128.mean_cost_usd
+    );
+}
+
+#[test]
+fn monitored_cpu_share_tracks_memory_size() {
+    // The key feature the model relies on: user CPU time per second of
+    // execution (CPU utilization) stays roughly constant for a CPU-bound
+    // function across sizes… relative to the allocated share.
+    let platform = Platform::aws_like();
+    let profile = MotivatingFunction::InvertMatrix.profile();
+    let cfg = ExperimentConfig {
+        duration_ms: 20_000.0,
+        rps: 4.0,
+        seed: 3,
+    };
+    let m256 = run_experiment(&platform, &profile, MemorySize::MB_256, &cfg);
+    let m1024 = run_experiment(&platform, &profile, MemorySize::MB_1024, &cfg);
+
+    let util = |m: &sizeless::workload::Measurement| {
+        m.metrics.mean(Metric::UserCpuTime) / m.metrics.mean(Metric::ExecutionTime)
+    };
+    // CPU-seconds per wall-second ≈ allocated share: 256/1792 vs 1024/1792.
+    let ratio = util(&m1024) / util(&m256);
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "utilization should scale ~4x with a 4x share: {ratio:.2}"
+    );
+}
+
+#[test]
+fn heap_metrics_expose_memory_pressure() {
+    // heap_used is size-independent, available heap grows with the limit —
+    // the signals behind the paper's Figure-5 "heap used" effect.
+    let platform = Platform::aws_like();
+    let profile = MotivatingFunction::DynamoDb.profile(); // 55 MB working set
+    let cfg = ExperimentConfig {
+        duration_ms: 10_000.0,
+        rps: 10.0,
+        seed: 4,
+    };
+    let small = run_experiment(&platform, &profile, MemorySize::MB_128, &cfg);
+    let large = run_experiment(&platform, &profile, MemorySize::MB_1024, &cfg);
+
+    let used_small = small.metrics.mean(Metric::HeapUsed);
+    let used_large = large.metrics.mean(Metric::HeapUsed);
+    assert!(
+        (used_small - used_large).abs() / used_small < 0.1,
+        "heap used is a property of the function, not the size: {used_small:.1} vs {used_large:.1}"
+    );
+    assert!(
+        large.metrics.mean(Metric::AvailableHeap) > 4.0 * small.metrics.mean(Metric::AvailableHeap),
+        "available heap scales with the configured size"
+    );
+}
+
+#[test]
+fn cold_start_fraction_depends_on_duty_cycle() {
+    // Slow functions at high rates need more concurrent instances → more
+    // cold starts; the warm pool then serves the steady state.
+    let platform = Platform::aws_like();
+    let profile = MotivatingFunction::InvertMatrix.profile();
+    let cfg = ExperimentConfig {
+        duration_ms: 30_000.0,
+        rps: 4.0,
+        seed: 5,
+    };
+    let slow = run_experiment(&platform, &profile, MemorySize::MB_128, &cfg).summary;
+    let fast = run_experiment(&platform, &profile, MemorySize::MB_2048, &cfg).summary;
+    // 128 MB: ~11.5 s runs at 4 rps → ~46 concurrent instances; 2048 MB:
+    // ~0.7 s runs → ~3.
+    assert!(
+        slow.cold_starts > 5 * fast.cold_starts,
+        "slow {} vs fast {}",
+        slow.cold_starts,
+        fast.cold_starts
+    );
+}

@@ -1,0 +1,135 @@
+//! The paper's central claim (RQ1): a model trained purely on *synthetic*
+//! functions transfers to *realistic* applications it has never seen —
+//! including functions using services absent from the training segments.
+
+use sizeless::apps::{measure_app, CaseStudyApp, MeasurementPlan};
+use sizeless::core::dataset::{DatasetConfig, TrainingDataset};
+use sizeless::core::features::FeatureSet;
+use sizeless::core::model::{target_sizes, SizelessModel};
+use sizeless::neural::NetworkConfig;
+use sizeless::platform::{MemorySize, Platform};
+
+fn model(platform: &Platform) -> SizelessModel {
+    let ds = TrainingDataset::generate(
+        platform,
+        &DatasetConfig {
+            function_count: 120,
+            experiment: sizeless::workload::ExperimentConfig {
+                duration_ms: 10_000.0,
+                rps: 20.0,
+                seed: 0,
+            },
+            generator: Default::default(),
+            seed: 7,
+            threads: 8,
+        },
+    );
+    let net = NetworkConfig {
+        epochs: 120,
+        neurons: 128,
+        hidden_layers: 3,
+        l2: 0.001,
+        ..NetworkConfig::default()
+    };
+    SizelessModel::train(&ds, MemorySize::MB_256, FeatureSet::F4, &net, 3).expect("train")
+}
+
+#[test]
+fn synthetic_model_transfers_to_case_study_apps() {
+    let platform = Platform::aws_like();
+    let model = model(&platform);
+    let base = MemorySize::MB_256;
+
+    let mut total_err = 0.0;
+    let mut n = 0usize;
+    let mut worst: (String, f64) = (String::new(), 0.0);
+    for app in [CaseStudyApp::FacialRecognition, CaseStudyApp::EventProcessing] {
+        let m = measure_app(&platform, app, &MeasurementPlan::quick());
+        for f in &m.functions {
+            let predicted = model.predict(f.metrics_at(base));
+            for t in target_sizes(base) {
+                let measured = f.execution_ms_at(t);
+                let err = (predicted.time_ms(t) - measured).abs() / measured;
+                total_err += err;
+                n += 1;
+                if err > worst.1 {
+                    worst = (format!("{}@{t}", f.name), err);
+                }
+            }
+        }
+    }
+    let mean_err = total_err / n as f64;
+    // The paper reports 15.3% on real AWS; the simulator is cleaner, so the
+    // transfer error should comfortably beat 25% even at this tiny training
+    // scale. (Regression guard, not a benchmark.)
+    assert!(
+        mean_err < 0.25,
+        "mean transfer error {mean_err:.3}, worst {worst:?}"
+    );
+}
+
+#[test]
+fn transfer_includes_unseen_services() {
+    // Functions built *only* from services the training segments never use
+    // must still be predictable (the model reasons from resource shapes).
+    let platform = Platform::aws_like();
+    let model = model(&platform);
+    let base = MemorySize::MB_256;
+
+    let m = measure_app(
+        &platform,
+        CaseStudyApp::EventProcessing, // Aurora/SNS/SQS only
+        &MeasurementPlan::quick(),
+    );
+    let inserter = m.function("EventInserter").expect("function exists");
+    let predicted = model.predict(inserter.metrics_at(base));
+    for t in target_sizes(base) {
+        let measured = inserter.execution_ms_at(t);
+        let err = (predicted.time_ms(t) - measured).abs() / measured;
+        assert!(err < 0.5, "EventInserter@{t}: err {err:.3}");
+    }
+}
+
+#[test]
+fn longevity_surrogate_different_measurement_seed_does_not_break_predictions() {
+    // The paper measures Hello Retail nine months after training and finds
+    // no significant deterioration. The simulated analogue: monitoring data
+    // collected under a completely different random state (fresh seeds)
+    // predicts as well as data from the training-time state.
+    let platform = Platform::aws_like();
+    let model = model(&platform);
+    let base = MemorySize::MB_256;
+
+    let early = measure_app(
+        &platform,
+        CaseStudyApp::HelloRetail,
+        &MeasurementPlan::quick(),
+    );
+    let late = measure_app(
+        &platform,
+        CaseStudyApp::HelloRetail,
+        &MeasurementPlan {
+            seed: 987_654,
+            ..MeasurementPlan::quick()
+        },
+    );
+
+    let mean_err = |m: &sizeless::apps::AppMeasurement| {
+        let mut total = 0.0;
+        let mut n = 0;
+        for f in &m.functions {
+            let p = model.predict(f.metrics_at(base));
+            for t in target_sizes(base) {
+                total += (p.time_ms(t) - f.execution_ms_at(t)).abs() / f.execution_ms_at(t);
+                n += 1;
+            }
+        }
+        total / n as f64
+    };
+    let e_early = mean_err(&early);
+    let e_late = mean_err(&late);
+    assert!(
+        (e_late - e_early).abs() < 0.10,
+        "no significant deterioration expected: early {e_early:.3} vs late {e_late:.3}"
+    );
+}
