@@ -187,7 +187,7 @@ pub fn measure_functions(
                     .iter()
                     .flat_map(|rep| rep[idx].store.samples())
                     .collect();
-                metrics.push(MetricVector::from_samples(pooled.into_iter()));
+                metrics.push(MetricVector::from_samples(pooled));
                 mean_exec.push(
                     per_rep.iter().map(|r| r[idx].summary.mean_execution_ms).sum::<f64>()
                         / plan.repetitions as f64,

@@ -14,7 +14,10 @@ use sizeless_platform::{FunctionConfig, MemorySize, Platform};
 use std::collections::BTreeMap;
 
 /// A named sequential chain of an application's functions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serializable for result export, but deliberately not `Deserialize`: the
+/// `&'static str` names refer to compiled-in app definitions, not data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Workflow {
     /// Workflow name (e.g. "book-flight").
     pub name: &'static str,

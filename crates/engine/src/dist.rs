@@ -131,7 +131,7 @@ impl LogNormal {
     ///
     /// Returns `None` if `mean` is not strictly positive or `sigma` invalid.
     pub fn with_mean(mean: f64, sigma: f64) -> Option<Self> {
-        if !(mean > 0.0) || sigma < 0.0 || !sigma.is_finite() {
+        if mean.is_nan() || mean <= 0.0 || sigma < 0.0 || !sigma.is_finite() {
             return None;
         }
         Self::new(mean.ln() - sigma * sigma / 2.0, sigma)

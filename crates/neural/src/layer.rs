@@ -170,7 +170,7 @@ mod tests {
             );
         }
         // Check each bias.
-        for i in 0..2 {
+        for (i, &analytic) in d_b.iter().enumerate().take(2) {
             let mut perturbed = layer.clone();
             perturbed.bias[i] += h;
             let up = Loss::Mse.value(&t, &perturbed.forward(&x, false));
@@ -178,7 +178,7 @@ mod tests {
             perturbed.bias[i] -= h;
             let down = Loss::Mse.value(&t, &perturbed.forward(&x, false));
             let numeric = (up - down) / (2.0 * h);
-            assert!((d_b[i] - numeric).abs() < 1e-5, "b[{i}]");
+            assert!((analytic - numeric).abs() < 1e-5, "b[{i}]");
         }
     }
 

@@ -235,9 +235,9 @@ impl Matrix {
     /// Column sums (used for bias gradients).
     pub fn column_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.data[r * self.cols + c];
+        for row in self.data.chunks_exact(self.cols) {
+            for (acc, x) in out.iter_mut().zip(row) {
+                *acc += x;
             }
         }
         out

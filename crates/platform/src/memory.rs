@@ -64,10 +64,10 @@ impl MemorySize {
     ///
     /// Returns [`PlatformError::InvalidMemorySize`] unless
     /// `128 <= mb <= 3008` and `mb` is a multiple of 64 (the historical
-    /// Lambda increments the paper's limitation section discusses), with
-    /// 3008 itself allowed as the documented maximum.
+    /// Lambda increments the paper's limitation section discusses; the
+    /// 3008 MB maximum is itself on the 64 MB grid).
     pub fn new(mb: u32) -> Result<Self, PlatformError> {
-        let valid = (128..=3008).contains(&mb) && (mb % 64 == 0 || mb == 3008);
+        let valid = (128..=3008).contains(&mb) && mb.is_multiple_of(64);
         if valid {
             Ok(MemorySize(mb))
         } else {

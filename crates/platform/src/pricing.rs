@@ -1,7 +1,7 @@
 //! The serverless pricing model.
 //!
-//! Cost per execution = `billed_seconds × memory_GB × gb_second_price
-//! + per_request_charge`, with the billed duration rounded **up** to the
+//! Cost per execution = `billed_seconds × memory_GB × gb_second_price +
+//! per_request_charge`, with the billed duration rounded **up** to the
 //! billing increment (100 ms on AWS at the time of the paper). The paper's
 //! Section 2 example — 3 s at 512 MB costing $0.0000252 — is reproduced in
 //! the tests below.

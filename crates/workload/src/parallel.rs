@@ -1,7 +1,7 @@
 //! Parallel fan-out of independent experiments.
 //!
 //! The paper's Go harness parallelizes the 12 000 performance measurements;
-//! here crossbeam threads do the same for simulated experiments. Every
+//! here scoped std threads do the same for simulated experiments. Every
 //! experiment derives its RNG stream from `(seed, function, memory)`, so the
 //! results are bit-identical regardless of thread count or scheduling.
 
@@ -27,9 +27,9 @@ pub fn measure_parallel(
     let results: Vec<Mutex<Option<Measurement>>> =
         (0..jobs.len()).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -39,8 +39,7 @@ pub fn measure_parallel(
                 *results[i].lock() = Some(m);
             });
         }
-    })
-    .expect("measurement worker panicked");
+    });
 
     results
         .into_iter()

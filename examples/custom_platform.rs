@@ -36,8 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let aws = Platform::aws_like();
 
-    let mut cfg = PipelineConfig::default();
-    cfg.dataset = DatasetConfig::scaled(120);
+    let mut cfg = PipelineConfig {
+        dataset: DatasetConfig::scaled(120),
+        ..PipelineConfig::default()
+    };
     cfg.network.epochs = 80;
 
     println!("Training one pipeline per provider …");

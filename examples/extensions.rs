@@ -20,8 +20,10 @@ use sizeless::workload::{run_experiment, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::aws_like();
-    let mut cfg = PipelineConfig::default();
-    cfg.dataset = DatasetConfig::scaled(150);
+    let mut cfg = PipelineConfig {
+        dataset: DatasetConfig::scaled(150),
+        ..PipelineConfig::default()
+    };
     cfg.network.epochs = 80;
     println!("Training pipeline …");
     let pipeline = SizelessPipeline::train_on(&platform, &cfg)?;

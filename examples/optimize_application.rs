@@ -17,8 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = CaseStudyApp::HelloRetail;
 
     // Offline phase (small demo dataset).
-    let mut cfg = PipelineConfig::default();
-    cfg.dataset = DatasetConfig::scaled(150);
+    let mut cfg = PipelineConfig {
+        dataset: DatasetConfig::scaled(150),
+        ..PipelineConfig::default()
+    };
     cfg.network.epochs = 80;
     println!("Training pipeline …");
     let pipeline = SizelessPipeline::train_on(&platform, &cfg)?;

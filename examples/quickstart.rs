@@ -17,8 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    train the multi-target regression model. The paper uses 2 000
     //    functions and 10-minute experiments; 150 functions keep this demo
     //    under a minute.
-    let mut cfg = PipelineConfig::default();
-    cfg.dataset = DatasetConfig::scaled(150);
+    let mut cfg = PipelineConfig {
+        dataset: DatasetConfig::scaled(150),
+        ..PipelineConfig::default()
+    };
     cfg.network.epochs = 80;
     println!("Training the Sizeless pipeline on {} synthetic functions …", 150);
     let pipeline = SizelessPipeline::train_on(&platform, &cfg)?;

@@ -11,8 +11,11 @@ use sizeless::platform::{MemorySize, Platform, ResourceProfile, ServiceCall, Ser
 use sizeless::workload::{run_experiment, ExperimentConfig};
 
 fn quick_pipeline(platform: &Platform) -> SizelessPipeline {
+    // 80 functions is the smallest training set at which the tiny model's
+    // recommendations separate cpu-bound from network-bound profiles
+    // robustly; 40 leaves the service-dominated regime under-represented.
     let cfg = PipelineConfig {
-        dataset: DatasetConfig::tiny(40),
+        dataset: DatasetConfig::tiny(80),
         network: NetworkConfig {
             hidden_layers: 2,
             neurons: 48,

@@ -1,0 +1,198 @@
+//! Offline in-workspace stand-in for `criterion`.
+//!
+//! Provides the same macro/type surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `iter`/`iter_batched`) over a deliberately small
+//! wall-clock harness: a short warm-up, then timed batches until a modest
+//! time budget is spent, reporting the per-iteration median batch time.
+//! No statistics machinery, no HTML reports — numbers land on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Controls how much input `iter_batched` materializes per batch. The
+/// vendored harness times one input per iteration regardless; the variants
+/// exist for call-site compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-create the input for every iteration.
+    PerIteration,
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Soft time budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Keep `cargo bench` fast: this is a smoke harness, not a lab.
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark time budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(ns) => println!("bench {:<50} {:>12.1} ns/iter", id.as_ref(), ns),
+            None => println!("bench {:<50}   (no measurement)", id.as_ref()),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (prefixes each benchmark id).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (reports are already printed; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records its per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut batch = 1u64;
+        let mut samples: Vec<f64> = Vec::new();
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && samples.len() < 64 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if elapsed < Duration::from_millis(1) && batch < 1 << 20 {
+                batch *= 4; // amortize timer overhead for fast routines
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.report = samples.get(samples.len() / 2).copied();
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded
+    /// from the per-iteration cost only at batch granularity).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut samples: Vec<f64> = Vec::new();
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && samples.len() < 64 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.report = samples.get(samples.len() / 2).copied();
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size)
+    }
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(3u64) * 7));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

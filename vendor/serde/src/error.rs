@@ -1,0 +1,33 @@
+//! The single error type shared by serialization and deserialization.
+
+use std::fmt;
+
+/// A (de)serialization error with a breadcrumb trail of field contexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Prefixes the error with the path component currently being decoded.
+    pub fn ctx(self, path: &str) -> Self {
+        Error {
+            msg: format!("{path}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

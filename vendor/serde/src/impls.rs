@@ -1,0 +1,458 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::value::key_to_string;
+use crate::{Deserialize, Error, Map, Number, Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::Hash;
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected unsigned integer, got {}",
+                        v.kind()
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i < 0 {
+                    Value::Number(Number::NegInt(i))
+                } else {
+                    Value::Number(Number::PosInt(i as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected integer, got {}",
+                        v.kind()
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Null is NOT accepted: the writer emits null for NaN/inf, and
+        // reading it back as NaN would also make *missing* struct fields
+        // (which the derive macro maps to Null) silently become NaN.
+        // Upstream serde errors in both cases; so do we.
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(std::path::PathBuf::from)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and wrappers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let vec = Vec::<T>::from_value(v)?;
+        let len = vec.len();
+        <[T; N]>::try_from(vec)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples (serialized as fixed-length arrays, as in upstream serde)
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let xs = v.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected array, got {}", v.kind()))
+                })?;
+                if xs.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got {} elements",
+                        $len,
+                        xs.len()
+                    )));
+                }
+                Ok(($($name::from_value(&xs[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+// ---------------------------------------------------------------------------
+// Maps (keys are coerced through strings, as in serde_json)
+// ---------------------------------------------------------------------------
+
+/// Reverses [`key_to_string`]: offers the key to `K` as a string first, then
+/// as a number, then as a bool.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::PosInt(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::NegInt(i))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::Float(f))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot decode map key `{key}`")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let m: Map<String, Value> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k.to_value()).expect("map key must be string-like"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Route through a BTree-backed object so output order is stable.
+        let m: Map<String, Value> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k.to_value()).expect("map key must be string-like"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value itself (so `json!` trees and `Map`s can be re-serialized)
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Deserialize for Map<String, Value> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .cloned()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&5u32.to_value()).unwrap(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn numeric_keyed_map_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert(256u32, 1.25f64);
+        m.insert(512u32, 2.5f64);
+        let v = m.to_value();
+        let back: BTreeMap<u32, f64> = BTreeMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let xs = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u32, String)> = Vec::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+    }
+}

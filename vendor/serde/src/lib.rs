@@ -1,0 +1,35 @@
+//! Offline in-workspace stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! compact serialization framework with the same spelling at every call site:
+//! `#[derive(Serialize, Deserialize)]`, `use serde::{Serialize, Deserialize}`,
+//! and `#[serde(transparent)]` all work unchanged. Instead of upstream's
+//! visitor-based data model, this implementation round-trips every value
+//! through a JSON-like [`Value`] tree — ample for the workspace's needs
+//! (dataset caching, result export) and two orders of magnitude simpler.
+
+#![forbid(unsafe_code)]
+
+mod error;
+mod impls;
+mod map;
+mod value;
+
+pub use error::Error;
+pub use map::Map;
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

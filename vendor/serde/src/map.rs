@@ -1,0 +1,101 @@
+//! The object map used by [`crate::Value::Object`].
+
+use std::borrow::Borrow;
+use std::collections::btree_map::{self, BTreeMap};
+
+/// An ordered string-keyed map (BTree-backed, so iteration order — and thus
+/// serialized output — is deterministic).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = crate::Value>(BTreeMap<K, V>);
+
+impl<K: Ord, V> Map<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map(BTreeMap::new())
+    }
+
+    /// Inserts a key-value pair, returning any previous value for the key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.0.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.0.get(key)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.0.contains_key(key)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.0.remove(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.0.iter()
+    }
+
+    /// Iterates over keys in order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.0.keys()
+    }
+
+    /// Iterates over values in key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.0.values()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Map(iter.into_iter().collect())
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for Map<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl<K: Ord, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}

@@ -1,0 +1,527 @@
+//! Offline in-workspace stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored value-tree data model. Implemented directly on `proc_macro`
+//! token streams (the environment has no `syn`/`quote`), which is workable
+//! because the workspace only derives on non-generic structs and enums.
+//!
+//! Supported shapes, chosen to match upstream serde's JSON representation:
+//!
+//! * named-field structs → JSON objects keyed by field name;
+//! * newtype structs (and `#[serde(transparent)]`) → the inner value;
+//! * tuple structs of arity ≥ 2 → fixed-length arrays;
+//! * unit enum variants → the variant name as a string;
+//! * struct/newtype/tuple enum variants → externally tagged
+//!   `{"Variant": ...}` objects.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Fieldless struct (`struct X;`).
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Attribute: `#[...]`. Record `#[serde(transparent)]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if serde_attr_words(g.stream()).iter().any(|w| w == "transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Skip `(crate)` / `(super)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = expect_ident(&tokens, i + 1);
+                check_no_generics(&tokens, i + 2, &name);
+                let kind = match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Kind::Struct(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Kind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Kind::Unit,
+                };
+                return Item { name, transparent, kind };
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = expect_ident(&tokens, i + 1);
+                check_no_generics(&tokens, i + 2, &name);
+                let body = match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    _ => panic!("serde_derive: enum `{name}` has no body"),
+                };
+                return Item {
+                    name,
+                    transparent,
+                    kind: Kind::Enum(parse_variants(body)),
+                };
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde_derive: expected a struct or enum");
+}
+
+/// Extracts the words inside `#[serde(...)]`, or empty for other attributes.
+///
+/// Rejects anything but `transparent` outright: silently ignoring a
+/// `rename`/`skip`/`default` the vendored derive does not implement would
+/// ship output that diverges from what the annotation promises.
+fn serde_attr_words(attr: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let words: Vec<String> = g
+                .stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(w) => Some(w.to_string()),
+                    _ => None,
+                })
+                .collect();
+            for w in &words {
+                if w != "transparent" {
+                    panic!(
+                        "serde_derive (vendored): unsupported attribute `#[serde({w}…)]` — \
+                         only `transparent` is implemented"
+                    );
+                }
+            }
+            words
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Panics on `#[serde(...)]` at field/variant level: the vendored derive
+/// implements none of those, and silently ignoring one would ship output
+/// that diverges from what the annotation promises.
+fn reject_serde_attr(attr: Option<&TokenTree>, level: &str) {
+    if let Some(TokenTree::Group(g)) = attr {
+        let mut it = g.stream().into_iter();
+        if let Some(TokenTree::Ident(id)) = it.next() {
+            if id.to_string() == "serde" {
+                panic!(
+                    "serde_derive (vendored): {level}-level #[serde(...)] attributes \
+                     are not supported"
+                );
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn check_no_generics(tokens: &[TokenTree], i: usize, name: &str) {
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+}
+
+/// Parses `field: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                reject_serde_attr(tokens.get(i + 1), "field");
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        let name = expect_ident(&tokens, i);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // The `>` of a `->` return arrow is not a closing bracket.
+        let mut depth = 0i32;
+        let mut after_dash = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && !after_dash => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            after_dash = matches!(
+                &tokens[i],
+                TokenTree::Punct(p) if p.as_char() == '-' && p.spacing() == Spacing::Joint
+            );
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut after_dash = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            // The `>` of a `->` return arrow is not a closing bracket.
+            TokenTree::Punct(p) if p.as_char() == '>' && !after_dash => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+        after_dash = matches!(
+            t,
+            TokenTree::Punct(p) if p.as_char() == '-' && p.spacing() == Spacing::Joint
+        );
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                reject_serde_attr(tokens.get(i + 1), "variant");
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        let name = expect_ident(&tokens, i);
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            if item.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "#[serde(transparent)] requires exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m)");
+                s
+            }
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __fields = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(__fields));\n\
+                             ::serde::Value::Object(__outer)\n}}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__x0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vname}\"), {payload});\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Generates `field: <decode>,` initializers for a named-field body read from
+/// the object expression `__m`.
+fn named_field_inits(type_name: &str, fields: &[String]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\
+             __m.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| e.ctx(\"{type_name}.{f}\"))?,\n"
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            if item.transparent {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Object(__m) => Ok({name} {{\n{}\n}}),\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                     \"expected object for {name}, got {{}}\", __other.kind()))),\n}}",
+                    named_field_inits(name, fields)
+                )
+            }
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Kind::Tuple(n) => {
+            let mut inits = String::new();
+            for i in 0..*n {
+                inits.push_str(&format!(
+                    "::serde::Deserialize::from_value(&__xs[{i}])\
+                     .map_err(|e| e.ctx(\"{name}.{i}\"))?,\n"
+                ));
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__xs) if __xs.len() == {n} => Ok({name}(\n{inits})),\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"expected {n}-element array for {name}, got {{}}\", __other.kind()))),\n}}"
+            )
+        }
+        Kind::Unit => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            // String form covers unit variants; object form the payload ones.
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => string_arms
+                        .push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n")),
+                    VariantFields::Named(fields) => object_arms.push_str(&format!(
+                        "if let Some(__inner) = __map.get(\"{vname}\") {{\n\
+                         return match __inner {{\n\
+                         ::serde::Value::Object(__m) => Ok({name}::{vname} {{\n{}\n}}),\n\
+                         __other => Err(::serde::Error::custom(format!(\
+                         \"expected object payload for {name}::{vname}, got {{}}\", \
+                         __other.kind()))),\n}};\n}}\n",
+                        named_field_inits(&format!("{name}::{vname}"), fields)
+                    )),
+                    VariantFields::Tuple(1) => object_arms.push_str(&format!(
+                        "if let Some(__inner) = __map.get(\"{vname}\") {{\n\
+                         return Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)\
+                         .map_err(|e| e.ctx(\"{name}::{vname}\"))?));\n}}\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let mut inits = String::new();
+                        for i in 0..*n {
+                            inits.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__xs[{i}])\
+                                 .map_err(|e| e.ctx(\"{name}::{vname}.{i}\"))?,\n"
+                            ));
+                        }
+                        object_arms.push_str(&format!(
+                            "if let Some(__inner) = __map.get(\"{vname}\") {{\n\
+                             return match __inner {{\n\
+                             ::serde::Value::Array(__xs) if __xs.len() == {n} => \
+                             Ok({name}::{vname}(\n{inits})),\n\
+                             __other => Err(::serde::Error::custom(format!(\
+                             \"expected {n}-element array for {name}::{vname}, got {{}}\", \
+                             __other.kind()))),\n}};\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{string_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__map) => {{\n{object_arms}\
+                 Err(::serde::Error::custom(\"no recognized variant key for {name}\"))\n}},\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"expected string or object for {name}, got {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,148 @@
+//! Offline in-workspace stand-in for `serde_json`.
+//!
+//! Implements real JSON text encoding/decoding over the vendored `serde`
+//! value tree: `to_string` / `to_string_pretty`, `from_str`, `from_value`,
+//! `to_value`, and the `json!` macro. Output is deterministic (object keys
+//! are BTree-ordered) so cached datasets and result files diff cleanly.
+
+#![forbid(unsafe_code)]
+
+mod read;
+mod write;
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serializes a value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&read::parse(s)?)
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+#[doc(hidden)]
+pub fn __json_interpolate<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Object values and array elements may be arbitrary serializable
+/// expressions; keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(::std::string::String::from($key), $crate::__json_interpolate(&$value)); )*
+        $crate::Value::Object(__m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__json_interpolate(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::__json_interpolate(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1.5f64, -2.0, 3.25]);
+        m.insert("b".to_string(), vec![]);
+        let text = to_string(&m).unwrap();
+        let back: BTreeMap<String, Vec<f64>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Value = from_str(" { \"a\\n\\\"b\" : [ 1 , true , null , \"\\u0041\" ] } ").unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj.get("a\n\"b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_bool(), Some(true));
+        assert!(arr[2].is_null());
+        assert_eq!(arr[3].as_str(), Some("A"));
+    }
+
+    #[test]
+    fn json_macro_objects_and_exprs() {
+        let times: Map<String, Value> = [("128".to_string(), json!(4.0))].into_iter().collect();
+        let v = json!({
+            "base": 256u32,
+            "times": times,
+            "label": "x",
+        });
+        assert_eq!(v.get("base").unwrap().as_u64(), Some(256));
+        assert_eq!(
+            v.get("times").unwrap().get("128").unwrap().as_f64(),
+            Some(4.0)
+        );
+        assert_eq!(v.get("label").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = json!({ "xs": vec![1u32, 2, 3], "n": 7u64 });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{ \"a\": ").is_err());
+        assert!(from_str::<Value>("[1, 2,,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn rejects_non_json_number_forms() {
+        // Upstream serde_json rejects all of these too.
+        assert!(from_str::<Value>("01").is_err());
+        assert!(from_str::<Value>("1.").is_err());
+        assert!(from_str::<Value>("1.e5").is_err());
+        assert!(from_str::<Value>("1e").is_err());
+        assert!(from_str::<Value>("-").is_err());
+        assert!(from_str::<Value>(".5").is_err());
+        // While these stay accepted.
+        assert_eq!(from_str::<Value>("0").unwrap().as_u64(), Some(0));
+        assert_eq!(from_str::<Value>("-0.5").unwrap().as_f64(), Some(-0.5));
+        assert_eq!(from_str::<Value>("1e5").unwrap().as_f64(), Some(1e5));
+    }
+
+    #[test]
+    fn float_int_distinction_survives() {
+        let text = to_string(&json!({ "f": 5.0f64, "i": 5u64 })).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.get("f").unwrap(), &Value::Number(Number::Float(5.0)));
+        assert_eq!(back.get("i").unwrap(), &Value::Number(Number::PosInt(5)));
+    }
+}
