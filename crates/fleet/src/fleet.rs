@@ -1,0 +1,588 @@
+//! The fleet façade: an event-driven cluster simulation.
+//!
+//! A [`Fleet`] drives a set of functions — each with its own arrival
+//! process — against a cluster of [`Host`]s on the engine's discrete-event
+//! core. Arrivals are self-scheduling events (each arrival draws the gap
+//! to the next from the function's named [`RngStream`]); completions are
+//! events scheduled when an invocation starts. The single-function
+//! measurement harness is the degenerate case of a one-host fleet with no
+//! limits.
+//!
+//! Request lifecycle per arrival:
+//!
+//! 1. the keep-alive policy observes the arrival (demand, not admission);
+//! 2. concurrency limits admit or throttle (429);
+//! 3. the scheduler picks a host (or the request is throttled for
+//!    capacity);
+//! 4. the host reuses a warm instance or places a cold one (evicting idle
+//!    instances if memory is tight);
+//! 5. the platform samples the invocation; a completion event at
+//!    `now + init + duration` releases the instance with the keep-alive
+//!    policy's TTL.
+
+use crate::host::Host;
+use crate::keepalive::{KeepAliveKind, KeepAlivePolicy};
+use crate::limits::{ConcurrencyLimits, ThrottleReason};
+use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::stats::FleetReport;
+use sizeless_engine::{RngStream, SimTime, Simulation};
+use sizeless_platform::pool::InstanceId;
+use sizeless_platform::{FunctionConfig, Platform};
+use sizeless_telemetry::{FleetCounters, FleetMetrics};
+use sizeless_workload::{ArrivalProcess, BurstyArrival, BurstySampler};
+
+/// The arrival process driving one fleet function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetArrival {
+    /// A steady (Poisson or constant-rate) process.
+    Steady(ArrivalProcess),
+    /// The two-state Markov-modulated bursty process.
+    Bursty(BurstyArrival),
+}
+
+impl FleetArrival {
+    /// The long-run mean request rate, rps.
+    pub fn mean_rps(&self) -> f64 {
+        match self {
+            FleetArrival::Steady(p) => p.rps(),
+            FleetArrival::Bursty(b) => b.mean_rps(),
+        }
+    }
+}
+
+/// One function deployed on the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetFunction {
+    /// The function's deployment (profile + memory size).
+    pub config: FunctionConfig,
+    /// Its arrival process.
+    pub arrival: FleetArrival,
+}
+
+impl FleetFunction {
+    /// A fleet function driven by `arrival`.
+    pub fn new(config: FunctionConfig, arrival: FleetArrival) -> Self {
+        FleetFunction { config, arrival }
+    }
+}
+
+/// Cluster shape, workload window, limits, and seed of one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of invoker hosts.
+    pub hosts: usize,
+    /// Memory capacity of each host, MB.
+    pub host_memory_mb: f64,
+    /// Arrival window, ms (completions may drain past it).
+    pub duration_ms: f64,
+    /// Master seed for all named streams of the run.
+    pub seed: u64,
+    /// Uniform per-function concurrency cap (`None` = unlimited).
+    pub function_limit: Option<usize>,
+    /// Account-wide concurrency cap (`None` = unlimited).
+    pub account_limit: Option<usize>,
+    /// Re-check conservation/capacity invariants after every event
+    /// (used by the property tests; costs a full fleet scan per event).
+    pub check_invariants: bool,
+}
+
+impl FleetConfig {
+    /// A fleet of `hosts` hosts with `host_memory_mb` MB each, driven for
+    /// `duration_ms`, unlimited concurrency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all sizes are strictly positive.
+    pub fn new(hosts: usize, host_memory_mb: f64, duration_ms: f64, seed: u64) -> Self {
+        assert!(hosts > 0, "need at least one host");
+        assert!(host_memory_mb > 0.0, "host memory must be positive");
+        assert!(duration_ms > 0.0, "duration must be positive");
+        FleetConfig {
+            hosts,
+            host_memory_mb,
+            duration_ms,
+            seed,
+            function_limit: None,
+            account_limit: None,
+            check_invariants: false,
+        }
+    }
+
+    /// Returns a copy with a uniform per-function concurrency cap.
+    pub fn with_function_limit(self, limit: usize) -> Self {
+        FleetConfig {
+            function_limit: Some(limit),
+            ..self
+        }
+    }
+
+    /// Returns a copy with an account-wide concurrency cap.
+    pub fn with_account_limit(self, limit: usize) -> Self {
+        FleetConfig {
+            account_limit: Some(limit),
+            ..self
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        FleetConfig { seed, ..self }
+    }
+
+    /// Returns a copy that re-checks invariants after every event.
+    pub fn with_invariant_checks(self) -> Self {
+        FleetConfig {
+            check_invariants: true,
+            ..self
+        }
+    }
+}
+
+/// Per-function incremental arrival state.
+struct ArrivalState {
+    rng: RngStream,
+    gaps: GapState,
+}
+
+enum GapState {
+    Steady(ArrivalProcess),
+    Bursty(BurstySampler),
+}
+
+/// A configured cluster simulation, ready to [`Fleet::run`].
+pub struct Fleet {
+    platform: Platform,
+    functions: Vec<FleetFunction>,
+    arrivals: Vec<ArrivalState>,
+    hosts: Vec<Host>,
+    scheduler: Box<dyn Scheduler>,
+    keepalive: Box<dyn KeepAlivePolicy>,
+    limits: ConcurrencyLimits,
+    counters: FleetCounters,
+    max_latency_ms: f64,
+    duration_ms: f64,
+    default_ttl_ms: f64,
+    check_invariants: bool,
+    exec_rng: RngStream,
+    sched_rng: RngStream,
+}
+
+impl Fleet {
+    /// Assembles a fleet from explicit policy objects. Use
+    /// [`run_fleet`] when the built-in [`SchedulerKind`]/[`KeepAliveKind`]
+    /// policies suffice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `functions` is empty.
+    pub fn new(
+        platform: &Platform,
+        config: &FleetConfig,
+        functions: &[FleetFunction],
+        scheduler: Box<dyn Scheduler>,
+        keepalive: Box<dyn KeepAlivePolicy>,
+    ) -> Self {
+        assert!(!functions.is_empty(), "a fleet needs at least one function");
+        let root = RngStream::from_seed(config.seed, "fleet");
+        let arrivals = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                // Index-salted so duplicate function names stay decorrelated.
+                let mut rng = root.derive(&format!("arrivals/{i}/{}", f.config.name()));
+                let gaps = match f.arrival {
+                    FleetArrival::Steady(p) => GapState::Steady(p),
+                    FleetArrival::Bursty(b) => GapState::Bursty(b.sampler(&mut rng)),
+                };
+                ArrivalState { rng, gaps }
+            })
+            .collect();
+        Fleet {
+            platform: platform.clone(),
+            functions: functions.to_vec(),
+            arrivals,
+            hosts: (0..config.hosts)
+                .map(|i| Host::new(i, config.host_memory_mb))
+                .collect(),
+            scheduler,
+            keepalive,
+            limits: ConcurrencyLimits::new(
+                functions.len(),
+                config.function_limit,
+                config.account_limit,
+            ),
+            counters: FleetCounters::default(),
+            max_latency_ms: 0.0,
+            duration_ms: config.duration_ms,
+            default_ttl_ms: platform.cold_start_model().idle_ttl_ms,
+            check_invariants: config.check_invariants,
+            exec_rng: root.derive("executions"),
+            sched_rng: root.derive("scheduler"),
+        }
+    }
+
+    fn next_arrival_gap(&mut self, fn_id: usize) -> f64 {
+        let state = &mut self.arrivals[fn_id];
+        match &mut state.gaps {
+            GapState::Steady(p) => p.next_gap_ms(&mut state.rng),
+            GapState::Bursty(s) => s.next_gap_ms(&mut state.rng),
+        }
+    }
+
+    /// Handles one request for `fn_id` arriving at `now_ms`.
+    fn dispatch(&mut self, sim: &mut Simulation<Fleet>, fn_id: usize, now_ms: f64) {
+        self.counters.submitted += 1;
+        self.keepalive.observe_arrival(fn_id, now_ms);
+        match self.limits.try_acquire(fn_id) {
+            Ok(()) => {}
+            Err(ThrottleReason::FunctionLimit) => {
+                self.counters.throttled_function += 1;
+                return;
+            }
+            Err(ThrottleReason::AccountLimit) => {
+                self.counters.throttled_account += 1;
+                return;
+            }
+            Err(ThrottleReason::CapacityExhausted) => {
+                unreachable!("limits never report capacity")
+            }
+        }
+        let mem_mb = f64::from(self.functions[fn_id].config.memory().mb());
+        let placement = self
+            .scheduler
+            .select_host(fn_id, mem_mb, &mut self.hosts, now_ms, &mut self.sched_rng)
+            .and_then(|h| {
+                self.hosts[h]
+                    .try_begin(fn_id, mem_mb, self.default_ttl_ms, now_ms)
+                    .map(|(id, cold)| (h, id, cold))
+            });
+        let Some((host, instance, cold)) = placement else {
+            self.limits.release(fn_id);
+            self.counters.throttled_capacity += 1;
+            return;
+        };
+        let record = self
+            .platform
+            .invoke(&self.functions[fn_id].config, cold, &mut self.exec_rng);
+        if cold {
+            self.counters.cold_starts += 1;
+            self.keepalive.observe_cold_start(fn_id, record.init_ms);
+        }
+        self.counters.in_flight += 1;
+        let latency_ms = record.init_ms + record.duration_ms;
+        let exec_ms = record.duration_ms;
+        let cost_usd = record.cost_usd;
+        sim.schedule_at(SimTime::from_millis(now_ms + latency_ms), move |s, f| {
+            f.on_complete(s, fn_id, host, instance, latency_ms, exec_ms, cost_usd);
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_complete(
+        &mut self,
+        sim: &mut Simulation<Fleet>,
+        fn_id: usize,
+        host: usize,
+        instance: InstanceId,
+        latency_ms: f64,
+        exec_ms: f64,
+        cost_usd: f64,
+    ) {
+        let now_ms = sim.now().as_millis();
+        let ttl = self.keepalive.ttl_ms(fn_id);
+        self.hosts[host].complete(fn_id, instance, now_ms, ttl, latency_ms);
+        self.limits.release(fn_id);
+        self.counters.exec_mb_ms += exec_ms * f64::from(self.functions[fn_id].config.memory().mb());
+        self.counters.in_flight -= 1;
+        self.counters.completed += 1;
+        self.counters.sum_latency_ms += latency_ms;
+        self.counters.sum_cost_usd += cost_usd;
+        self.max_latency_ms = self.max_latency_ms.max(latency_ms);
+        if self.check_invariants {
+            self.assert_invariants(now_ms);
+        }
+    }
+
+    fn on_arrival(sim: &mut Simulation<Fleet>, fleet: &mut Fleet, fn_id: usize) {
+        let now_ms = sim.now().as_millis();
+        // Schedule the next arrival first: the arrival stream depends only
+        // on the function's own RNG, never on dispatch decisions.
+        let next = now_ms + fleet.next_arrival_gap(fn_id);
+        if next < fleet.duration_ms {
+            sim.schedule_at(SimTime::from_millis(next), move |s, f| {
+                Fleet::on_arrival(s, f, fn_id);
+            });
+        }
+        fleet.dispatch(sim, fn_id, now_ms);
+        if fleet.check_invariants {
+            fleet.assert_invariants(now_ms);
+        }
+    }
+
+    /// The conservation and capacity invariants re-checked per event when
+    /// [`FleetConfig::check_invariants`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation.
+    pub fn assert_invariants(&mut self, now_ms: f64) {
+        assert!(
+            self.counters.is_conserved(),
+            "conservation violated: {:?}",
+            self.counters
+        );
+        assert_eq!(
+            self.counters.in_flight,
+            self.limits.in_flight(),
+            "limit ledger out of sync"
+        );
+        let host_in_flight: usize = self.hosts.iter().map(Host::in_flight).sum();
+        assert_eq!(self.counters.in_flight, host_in_flight, "host ledger out of sync");
+        if let Some(cap) = self.limits.account_limit() {
+            assert!(self.limits.in_flight() <= cap, "account limit exceeded");
+        }
+        if let Some(cap) = self.limits.function_limit() {
+            for fn_id in 0..self.functions.len() {
+                assert!(
+                    self.limits.fn_in_flight(fn_id) <= cap,
+                    "function limit exceeded for fn {fn_id}"
+                );
+            }
+        }
+        for host in &mut self.hosts {
+            let committed = host.committed_mb(now_ms);
+            assert!(
+                committed <= host.capacity_mb() + 1e-6,
+                "host {} over capacity: {committed} MB",
+                host.id()
+            );
+        }
+    }
+
+    /// Runs the fleet to completion and reports.
+    pub fn run(mut self) -> FleetReport {
+        let mut sim: Simulation<Fleet> = Simulation::new();
+        let mut first_arrivals = Vec::with_capacity(self.functions.len());
+        for fn_id in 0..self.functions.len() {
+            first_arrivals.push((fn_id, self.next_arrival_gap(fn_id)));
+        }
+        for (fn_id, at) in first_arrivals {
+            if at < self.duration_ms {
+                sim.schedule_at(SimTime::from_millis(at), move |s, f| {
+                    Fleet::on_arrival(s, f, fn_id);
+                });
+            }
+        }
+        sim.run_to_completion(&mut self);
+        let horizon_ms = sim.now().as_millis().max(self.duration_ms);
+
+        for host in &mut self.hosts {
+            host.finalize(horizon_ms);
+        }
+        self.counters.busy_mb_ms = self.hosts.iter().map(Host::busy_mb_ms).sum();
+        self.counters.wasted_mb_ms = self.hosts.iter().map(Host::wasted_mb_ms).sum();
+        self.counters.capacity_mb_ms = self
+            .hosts
+            .iter()
+            .map(|h| h.capacity_mb() * horizon_ms)
+            .sum();
+        debug_assert_eq!(self.counters.in_flight, 0, "drain left work in flight");
+
+        FleetReport {
+            scheduler: self.scheduler.name().to_string(),
+            keepalive: self.keepalive.name().to_string(),
+            counters: self.counters,
+            metrics: FleetMetrics::from_counters(&self.counters),
+            host_utilization: self
+                .hosts
+                .iter()
+                .map(|h| h.busy_mb_ms() / (h.capacity_mb() * horizon_ms))
+                .collect(),
+            provisioned_instances: self.hosts.iter().map(Host::provisioned).sum(),
+            evictions: self.hosts.iter().map(Host::evictions).sum(),
+            expirations: self.hosts.iter().map(Host::expirations).sum(),
+            max_latency_ms: self.max_latency_ms,
+            horizon_ms,
+        }
+    }
+}
+
+/// Runs a fleet with built-in policies — the one-call façade.
+pub fn run_fleet(
+    platform: &Platform,
+    config: &FleetConfig,
+    functions: &[FleetFunction],
+    scheduler: SchedulerKind,
+    keepalive: KeepAliveKind,
+) -> FleetReport {
+    let default_ttl = platform.cold_start_model().idle_ttl_ms;
+    Fleet::new(
+        platform,
+        config,
+        functions,
+        scheduler.build(),
+        keepalive.build(functions.len(), default_ttl),
+    )
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_platform::{MemorySize, ResourceProfile, Stage};
+
+    fn functions() -> Vec<FleetFunction> {
+        let cpu = ResourceProfile::builder("fleet-cpu")
+            .stage(Stage::cpu("work", 30.0))
+            .build();
+        let io = ResourceProfile::builder("fleet-io")
+            .stage(Stage::file_io("io", 256.0, 64.0))
+            .build();
+        vec![
+            FleetFunction::new(
+                FunctionConfig::new(cpu, MemorySize::MB_512),
+                FleetArrival::Steady(ArrivalProcess::poisson(20.0)),
+            ),
+            FleetFunction::new(
+                FunctionConfig::new(io, MemorySize::MB_256),
+                FleetArrival::Bursty(BurstyArrival::new(4.0, 60.0, 5_000.0, 1_000.0)),
+            ),
+        ]
+    }
+
+    fn config() -> FleetConfig {
+        FleetConfig::new(4, 2048.0, 20_000.0, 7).with_invariant_checks()
+    }
+
+    #[test]
+    fn fleet_conserves_requests() {
+        let report = run_fleet(
+            &Platform::aws_like(),
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        assert!(report.counters.is_conserved());
+        assert_eq!(report.counters.in_flight, 0);
+        assert!(report.counters.submitted > 100, "{:?}", report.counters);
+        assert!(report.counters.completed > 0);
+        assert!(report.metrics.utilization > 0.0);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let run = || {
+            run_fleet(
+                &Platform::aws_like(),
+                &config(),
+                &functions(),
+                SchedulerKind::Random,
+                KeepAliveKind::Adaptive,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let platform = Platform::aws_like();
+        let a = run_fleet(
+            &platform,
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        let b = run_fleet(
+            &platform,
+            &config().with_seed(8),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        assert_ne!(a.counters.submitted, b.counters.submitted);
+    }
+
+    #[test]
+    fn function_limit_throttles() {
+        let report = run_fleet(
+            &Platform::aws_like(),
+            &config().with_function_limit(1),
+            &functions(),
+            SchedulerKind::LeastLoaded,
+            KeepAliveKind::FixedTtl,
+        );
+        assert!(report.counters.throttled_function > 0);
+        assert!(report.counters.is_conserved());
+    }
+
+    #[test]
+    fn account_limit_throttles() {
+        let report = run_fleet(
+            &Platform::aws_like(),
+            &config().with_account_limit(2),
+            &functions(),
+            SchedulerKind::LeastLoaded,
+            KeepAliveKind::FixedTtl,
+        );
+        assert!(report.counters.throttled_account > 0);
+        assert!(report.counters.is_conserved());
+    }
+
+    #[test]
+    fn tiny_cluster_throttles_for_capacity() {
+        let cfg = FleetConfig::new(1, 512.0, 20_000.0, 7).with_invariant_checks();
+        let report = run_fleet(
+            &Platform::aws_like(),
+            &cfg,
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        assert!(report.counters.throttled_capacity > 0);
+        assert!(report.counters.is_conserved());
+    }
+
+    #[test]
+    fn no_keepalive_pays_more_cold_starts_than_fixed() {
+        let platform = Platform::aws_like();
+        let none = run_fleet(
+            &platform,
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::NoKeepAlive,
+        );
+        let fixed = run_fleet(
+            &platform,
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        assert!(
+            none.metrics.cold_start_rate > 2.0 * fixed.metrics.cold_start_rate,
+            "no-keepalive {} vs fixed {}",
+            none.metrics.cold_start_rate,
+            fixed.metrics.cold_start_rate
+        );
+        assert!(none.metrics.wasted_mb_ms < fixed.metrics.wasted_mb_ms);
+    }
+
+    #[test]
+    fn single_host_unlimited_fleet_matches_harness_shape() {
+        // The harness is the one-host, no-limit special case: everything
+        // completes, nothing throttles.
+        let cfg = FleetConfig::new(1, 1_000_000.0, 20_000.0, 3).with_invariant_checks();
+        let report = run_fleet(
+            &Platform::aws_like(),
+            &cfg,
+            &functions()[..1],
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        assert_eq!(report.counters.throttled(), 0);
+        assert_eq!(report.counters.submitted, report.counters.completed);
+    }
+}

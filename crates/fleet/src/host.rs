@@ -1,0 +1,324 @@
+//! An invoker host: finite memory shared by per-function warm pools.
+//!
+//! A host owns one [`WarmPool`] per function that has ever been placed on
+//! it. Placing a cold instance commits the function's configured memory
+//! size until the instance is reclaimed (keep-alive expiry, eviction, or
+//! end-of-run finalization); a host at capacity evicts its least-recently
+//! used idle instances — across all functions — to make room, and refuses
+//! placement when even that is not enough.
+
+use sizeless_platform::pool::{InstanceId, WarmPool};
+
+/// One per-function pool on a host plus the memory each of its instances
+/// commits.
+#[derive(Debug, Clone)]
+struct FnPool {
+    mem_mb: f64,
+    pool: WarmPool,
+}
+
+/// An invoker host with finite memory capacity.
+#[derive(Debug, Clone)]
+pub struct Host {
+    id: usize,
+    capacity_mb: f64,
+    pools: Vec<Option<FnPool>>,
+    busy_mb_ms: f64,
+}
+
+impl Host {
+    /// Creates a host with `capacity_mb` megabytes for instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacity is strictly positive.
+    pub fn new(id: usize, capacity_mb: f64) -> Self {
+        assert!(
+            capacity_mb > 0.0 && capacity_mb.is_finite(),
+            "host capacity must be positive"
+        );
+        Host {
+            id,
+            capacity_mb,
+            pools: Vec::new(),
+            busy_mb_ms: 0.0,
+        }
+    }
+
+    /// The host's identifier (its index in the fleet).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The host's memory capacity, MB.
+    pub fn capacity_mb(&self) -> f64 {
+        self.capacity_mb
+    }
+
+    fn ensure_pool(&mut self, fn_id: usize, mem_mb: f64, default_ttl_ms: f64) {
+        if self.pools.len() <= fn_id {
+            self.pools.resize_with(fn_id + 1, || None);
+        }
+        if self.pools[fn_id].is_none() {
+            self.pools[fn_id] = Some(FnPool {
+                mem_mb,
+                pool: WarmPool::new(default_ttl_ms),
+            });
+        }
+    }
+
+    /// Memory committed to live (warm or busy) instances at `now_ms`, MB.
+    pub fn committed_mb(&mut self, now_ms: f64) -> f64 {
+        self.pools
+            .iter_mut()
+            .flatten()
+            .map(|fp| fp.pool.live_at(now_ms) as f64 * fp.mem_mb)
+            .sum()
+    }
+
+    /// Uncommitted memory at `now_ms`, MB.
+    pub fn free_mb(&mut self, now_ms: f64) -> f64 {
+        self.capacity_mb - self.committed_mb(now_ms)
+    }
+
+    /// Fraction of capacity committed at `now_ms`, in `[0, 1]`.
+    pub fn load(&mut self, now_ms: f64) -> f64 {
+        self.committed_mb(now_ms) / self.capacity_mb
+    }
+
+    /// Warm instances of `fn_id` available for reuse at `now_ms`.
+    pub fn warm_idle(&mut self, fn_id: usize, now_ms: f64) -> usize {
+        match self.pools.get_mut(fn_id) {
+            Some(Some(fp)) => fp.pool.warm_idle_at(now_ms),
+            _ => 0,
+        }
+    }
+
+    /// Memory reclaimable by evicting idle instances (any function), MB.
+    fn evictable_idle_mb(&mut self, now_ms: f64) -> f64 {
+        self.pools
+            .iter_mut()
+            .flatten()
+            .map(|fp| fp.pool.warm_idle_at(now_ms) as f64 * fp.mem_mb)
+            .sum()
+    }
+
+    /// Whether a request for `fn_id` at `mem_mb` could start on this host
+    /// at `now_ms` — warm reuse, a free-memory placement, or a placement
+    /// after evicting idle instances.
+    pub fn feasible(&mut self, fn_id: usize, mem_mb: f64, now_ms: f64) -> bool {
+        if self.warm_idle(fn_id, now_ms) > 0 {
+            return true;
+        }
+        mem_mb <= self.capacity_mb
+            && self.free_mb(now_ms) + self.evictable_idle_mb(now_ms) + 1e-9 >= mem_mb
+    }
+
+    /// Evicts the least-recently released idle instance across all pools.
+    /// Returns `false` when nothing is idle.
+    fn evict_globally_lru(&mut self, now_ms: f64) -> bool {
+        let victim = self
+            .pools
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let fp = slot.as_mut()?;
+                fp.pool.oldest_idle_release_ms(now_ms).map(|t| (i, t))
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("release times are never NaN"))
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => self.pools[i]
+                .as_mut()
+                .expect("victim pool exists")
+                .pool
+                .evict_lru_idle(now_ms),
+            None => false,
+        }
+    }
+
+    /// Starts an invocation of `fn_id` on this host: reuses a warm instance
+    /// or places a cold one (evicting idle instances if memory is tight).
+    /// Returns `None` when the host cannot serve the request.
+    pub fn try_begin(
+        &mut self,
+        fn_id: usize,
+        mem_mb: f64,
+        default_ttl_ms: f64,
+        now_ms: f64,
+    ) -> Option<(InstanceId, bool)> {
+        self.ensure_pool(fn_id, mem_mb, default_ttl_ms);
+        if self.warm_idle(fn_id, now_ms) > 0 {
+            return self.pools[fn_id]
+                .as_mut()
+                .expect("pool just ensured")
+                .pool
+                .try_begin(now_ms);
+        }
+        if mem_mb > self.capacity_mb {
+            return None;
+        }
+        while self.free_mb(now_ms) + 1e-9 < mem_mb {
+            if !self.evict_globally_lru(now_ms) {
+                return None;
+            }
+        }
+        self.pools[fn_id]
+            .as_mut()
+            .expect("pool just ensured")
+            .pool
+            .try_begin(now_ms)
+    }
+
+    /// Completes an invocation at `finish_ms`: releases the instance with
+    /// the keep-alive window `ttl_ms` and accounts `busy_ms` (init +
+    /// execution) of busy memory-time.
+    pub fn complete(
+        &mut self,
+        fn_id: usize,
+        id: InstanceId,
+        finish_ms: f64,
+        ttl_ms: f64,
+        busy_ms: f64,
+    ) {
+        let fp = self.pools[fn_id]
+            .as_mut()
+            .expect("completion for a function never placed on this host");
+        fp.pool.complete_with_ttl(id, finish_ms, ttl_ms);
+        self.busy_mb_ms += busy_ms * fp.mem_mb;
+    }
+
+    /// Invocations currently executing on this host.
+    pub fn in_flight(&self) -> usize {
+        self.pools
+            .iter()
+            .flatten()
+            .map(|fp| fp.pool.in_flight())
+            .sum()
+    }
+
+    /// Instances ever provisioned on this host.
+    pub fn provisioned(&self) -> usize {
+        self.pools
+            .iter()
+            .flatten()
+            .map(|fp| fp.pool.provisioned())
+            .sum()
+    }
+
+    /// Instances evicted for memory pressure.
+    pub fn evictions(&self) -> usize {
+        self.pools
+            .iter()
+            .flatten()
+            .map(|fp| fp.pool.evictions())
+            .sum()
+    }
+
+    /// Instances reclaimed by keep-alive expiry.
+    pub fn expirations(&self) -> usize {
+        self.pools
+            .iter()
+            .flatten()
+            .map(|fp| fp.pool.expirations())
+            .sum()
+    }
+
+    /// Busy memory-time accumulated so far, MB·ms.
+    pub fn busy_mb_ms(&self) -> f64 {
+        self.busy_mb_ms
+    }
+
+    /// Warm-but-idle memory-time accrued so far, MB·ms.
+    pub fn wasted_mb_ms(&self) -> f64 {
+        self.pools
+            .iter()
+            .flatten()
+            .map(|fp| fp.pool.wasted_idle_ms() * fp.mem_mb)
+            .sum()
+    }
+
+    /// Reclaims all idle instances at the end of a run, accruing trailing
+    /// idle memory-time.
+    pub fn finalize(&mut self, end_ms: f64) {
+        for fp in self.pools.iter_mut().flatten() {
+            fp.pool.finalize(end_ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: f64 = 60_000.0;
+
+    #[test]
+    fn placement_commits_memory() {
+        let mut h = Host::new(0, 1024.0);
+        let (_, cold) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        assert!(cold);
+        assert_eq!(h.committed_mb(0.0), 512.0);
+        assert_eq!(h.free_mb(0.0), 512.0);
+        assert_eq!(h.in_flight(), 1);
+    }
+
+    #[test]
+    fn capacity_refuses_when_all_busy() {
+        let mut h = Host::new(0, 1024.0);
+        let _ = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        let _ = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        assert!(h.try_begin(0, 512.0, TTL, 1.0).is_none());
+        assert!(h.try_begin(1, 256.0, TTL, 1.0).is_none());
+    }
+
+    #[test]
+    fn warm_reuse_avoids_cold_start() {
+        let mut h = Host::new(0, 1024.0);
+        let (id, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, id, 50.0, TTL, 50.0);
+        let (_, cold) = h.try_begin(0, 512.0, TTL, 100.0).unwrap();
+        assert!(!cold);
+        assert_eq!(h.provisioned(), 1);
+    }
+
+    #[test]
+    fn evicts_idle_instance_of_other_function_to_fit() {
+        let mut h = Host::new(0, 1024.0);
+        // Function 0 fills the host, then goes idle.
+        let (a, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        let (b, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, a, 40.0, TTL, 40.0);
+        h.complete(0, b, 60.0, TTL, 60.0);
+        // Function 1 needs 768 MB: both idle instances must go.
+        let (_, cold) = h.try_begin(1, 768.0, TTL, 100.0).unwrap();
+        assert!(cold);
+        assert_eq!(h.evictions(), 2);
+        assert_eq!(h.committed_mb(100.0), 768.0);
+        // Wasted time: (100-40) + (100-60) ms at 512 MB each.
+        assert_eq!(h.wasted_mb_ms(), (60.0 + 40.0) * 512.0);
+    }
+
+    #[test]
+    fn feasibility_tracks_memory_and_warmth() {
+        let mut h = Host::new(0, 1024.0);
+        assert!(!h.feasible(0, 2048.0, 0.0), "larger than the host");
+        assert!(h.feasible(0, 1024.0, 0.0));
+        let (id, _) = h.try_begin(0, 1024.0, TTL, 0.0).unwrap();
+        assert!(!h.feasible(1, 512.0, 1.0), "fully busy");
+        h.complete(0, id, 10.0, TTL, 10.0);
+        assert!(h.feasible(0, 1024.0, 20.0), "warm instance");
+        assert!(h.feasible(1, 512.0, 20.0), "evictable idle instance");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut h = Host::new(0, 1024.0);
+        let (id, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, id, 200.0, TTL, 200.0);
+        assert_eq!(h.busy_mb_ms(), 200.0 * 512.0);
+        h.finalize(1_200.0);
+        assert_eq!(h.wasted_mb_ms(), 1_000.0 * 512.0);
+        assert_eq!(h.committed_mb(1_200.0), 0.0);
+    }
+}

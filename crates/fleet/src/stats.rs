@@ -1,0 +1,71 @@
+//! The result of a fleet run: raw counters, derived metrics, and per-host
+//! detail, serializable for the experiment binaries.
+
+use serde::{Deserialize, Serialize};
+use sizeless_telemetry::{FleetCounters, FleetMetrics};
+
+/// Everything a fleet run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Name of the scheduling policy used.
+    pub scheduler: String,
+    /// Name of the keep-alive policy used.
+    pub keepalive: String,
+    /// Raw event tallies.
+    pub counters: FleetCounters,
+    /// Rates derived from the counters.
+    pub metrics: FleetMetrics,
+    /// Per-host busy fraction over the horizon, in fleet order.
+    pub host_utilization: Vec<f64>,
+    /// Instances ever provisioned across the fleet.
+    pub provisioned_instances: usize,
+    /// Instances evicted for memory pressure.
+    pub evictions: usize,
+    /// Instances reclaimed by keep-alive expiry.
+    pub expirations: usize,
+    /// Largest end-to-end latency observed, ms.
+    pub max_latency_ms: f64,
+    /// Observed horizon (arrival window plus completion drain), ms.
+    pub horizon_ms: f64,
+}
+
+impl FleetReport {
+    /// Mean of the per-host utilization fractions.
+    pub fn mean_host_utilization(&self) -> f64 {
+        if self.host_utilization.is_empty() {
+            return 0.0;
+        }
+        self.host_utilization.iter().sum::<f64>() / self.host_utilization.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = FleetReport {
+            scheduler: "warm-first".into(),
+            keepalive: "adaptive".into(),
+            counters: FleetCounters {
+                submitted: 10,
+                completed: 9,
+                throttled_account: 1,
+                cold_starts: 3,
+                ..FleetCounters::default()
+            },
+            metrics: FleetMetrics::from_counters(&FleetCounters::default()),
+            host_utilization: vec![0.5, 0.25],
+            provisioned_instances: 3,
+            evictions: 0,
+            expirations: 3,
+            max_latency_ms: 812.5,
+            horizon_ms: 10_000.0,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!((report.mean_host_utilization() - 0.375).abs() < 1e-12);
+    }
+}

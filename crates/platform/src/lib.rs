@@ -26,6 +26,9 @@
 //!   and a detailed [`ResourceUsage`] record that
 //!   the telemetry crate converts into the paper's 25 monitoring metrics.
 //! * [`coldstart`] — initialization-latency model.
+//! * [`pool`] — the instance model: [`WarmPool`]s
+//!   with keep-alive TTLs, capacity bounds, eviction, and wasted-idle-time
+//!   accounting, shared by the measurement harness and the fleet simulator.
 //! * [`platform`] — the façade: deploy a [`FunctionConfig`],
 //!   invoke it, get an [`InvocationRecord`]
 //!   (duration, billed duration, cost, cold-start flag, resource usage).
@@ -56,6 +59,7 @@ pub mod execution;
 pub mod function;
 pub mod memory;
 pub mod platform;
+pub mod pool;
 pub mod pricing;
 pub mod providers;
 pub mod resource;
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use crate::function::FunctionConfig;
     pub use crate::memory::MemorySize;
     pub use crate::platform::{InvocationRecord, Platform};
+    pub use crate::pool::{InstanceId, WarmPool};
     pub use crate::pricing::PricingModel;
     pub use crate::resource::{ResourceProfile, ServiceCall, Stage};
     pub use crate::scaling::ScalingLaws;
@@ -81,6 +86,7 @@ pub use execution::{ExecutionOutcome, ResourceUsage};
 pub use function::FunctionConfig;
 pub use memory::MemorySize;
 pub use platform::{InvocationRecord, Platform};
+pub use pool::{InstanceId, WarmPool};
 pub use pricing::PricingModel;
 pub use resource::{ResourceProfile, ServiceCall, Stage};
 pub use services::{ServiceCatalog, ServiceKind};

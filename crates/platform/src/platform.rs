@@ -145,68 +145,10 @@ impl Default for Platform {
     }
 }
 
-/// A per-function pool of warm instances, deciding which invocations pay a
-/// cold start. Instances are reclaimed after the cold-start model's idle TTL.
-#[derive(Debug, Clone, Default)]
-pub struct WarmPool {
-    /// `(busy_until_ms, last_release_ms)` per instance.
-    instances: Vec<(f64, f64)>,
-    idle_ttl_ms: f64,
-}
-
-/// Identifies an acquired instance until [`WarmPool::complete`] is called.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InstanceId(usize);
-
-impl WarmPool {
-    /// Creates a pool with the given idle TTL (ms).
-    pub fn new(idle_ttl_ms: f64) -> Self {
-        WarmPool {
-            instances: Vec::new(),
-            idle_ttl_ms,
-        }
-    }
-
-    /// Acquires an instance for an invocation arriving at `at_ms`. Returns
-    /// the instance and whether the invocation is a cold start.
-    pub fn begin(&mut self, at_ms: f64) -> (InstanceId, bool) {
-        // Reuse the most recently released warm instance (LIFO, like Lambda).
-        let mut best: Option<usize> = None;
-        for (i, &(busy_until, last_release)) in self.instances.iter().enumerate() {
-            let idle_ok = at_ms - last_release <= self.idle_ttl_ms;
-            if busy_until <= at_ms && idle_ok {
-                match best {
-                    Some(b) if self.instances[b].1 >= last_release => {}
-                    _ => best = Some(i),
-                }
-            }
-        }
-        if let Some(i) = best {
-            self.instances[i].0 = f64::INFINITY; // busy until completed
-            (InstanceId(i), false)
-        } else {
-            self.instances.push((f64::INFINITY, at_ms));
-            (InstanceId(self.instances.len() - 1), true)
-        }
-    }
-
-    /// Marks the instance free again at `finish_ms`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the instance is not currently busy.
-    pub fn complete(&mut self, id: InstanceId, finish_ms: f64) {
-        let inst = &mut self.instances[id.0];
-        assert!(inst.0 == f64::INFINITY, "instance completed twice");
-        inst.0 = finish_ms;
-        inst.1 = finish_ms;
-    }
-
-    /// Number of instances ever provisioned.
-    pub fn provisioned(&self) -> usize {
-        self.instances.len()
-    }
-}
+// The instance model lived here historically; it moved to [`crate::pool`]
+// so the fleet simulator and the measurement harness share one
+// implementation. Re-exported for API stability.
+pub use crate::pool::{InstanceId, WarmPool};
 
 #[cfg(test)]
 mod tests {
@@ -254,43 +196,11 @@ mod tests {
     }
 
     #[test]
-    fn warm_pool_reuses_instances() {
-        let mut pool = WarmPool::new(10_000.0);
-        let (a, cold_a) = pool.begin(0.0);
-        assert!(cold_a);
-        pool.complete(a, 50.0);
-        let (_b, cold_b) = pool.begin(100.0);
-        assert!(!cold_b);
-        assert_eq!(pool.provisioned(), 1);
-    }
-
-    #[test]
-    fn warm_pool_scales_out_under_concurrency() {
-        let mut pool = WarmPool::new(10_000.0);
-        let (a, _) = pool.begin(0.0);
-        let (b, cold_b) = pool.begin(1.0); // a still busy
-        assert!(cold_b);
-        pool.complete(a, 30.0);
-        pool.complete(b, 31.0);
-        assert_eq!(pool.provisioned(), 2);
-    }
-
-    #[test]
-    fn warm_pool_expires_idle_instances() {
-        let mut pool = WarmPool::new(1_000.0);
-        let (a, _) = pool.begin(0.0);
-        pool.complete(a, 10.0);
-        let (_b, cold) = pool.begin(5_000.0); // idle 4990 ms > TTL
+    fn warm_pool_reexport_still_resolves() {
+        // API-stability guard for the pre-`pool`-module import path.
+        let mut pool: WarmPool = super::WarmPool::new(10_000.0);
+        let (a, cold) = pool.begin(0.0);
         assert!(cold);
-        assert_eq!(pool.provisioned(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "completed twice")]
-    fn double_complete_panics() {
-        let mut pool = WarmPool::new(1_000.0);
-        let (a, _) = pool.begin(0.0);
-        pool.complete(a, 1.0);
-        pool.complete(a, 2.0);
+        pool.complete(a, 50.0);
     }
 }

@@ -1,0 +1,167 @@
+//! Fleet-level metrics: the cluster analogue of the per-invocation monitor.
+//!
+//! The single-function monitor ([`crate::monitor`]) reproduces the paper's
+//! Table-1 metrics; a *fleet* of invoker hosts needs a different lens — the
+//! operational rates the paper's limitations section gestures at ("the
+//! workload becomes substantially burstier, which causes more cold starts"):
+//! cold-start rate, throttle rate, host utilization, and the wasted
+//! memory-time a keep-alive policy trades against cold starts.
+//!
+//! [`FleetCounters`] is the raw tally a fleet run accumulates;
+//! [`FleetMetrics`] derives the rates. Keeping the derivation here (rather
+//! than in the fleet crate) means any future multi-cluster or trace-replay
+//! layer reports through the same definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event tallies of one fleet run. All counters are monotone during a
+/// run; `in_flight` is the only gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetCounters {
+    /// Requests submitted to the fleet.
+    pub submitted: usize,
+    /// Requests that finished executing.
+    pub completed: usize,
+    /// Requests currently executing.
+    pub in_flight: usize,
+    /// Requests rejected (429) by a per-function concurrency limit.
+    pub throttled_function: usize,
+    /// Requests rejected (429) by the account-wide concurrency limit.
+    pub throttled_account: usize,
+    /// Requests rejected because no host could place an instance.
+    pub throttled_capacity: usize,
+    /// Completed-or-running requests that paid a cold start.
+    pub cold_starts: usize,
+    /// Sum of end-to-end latencies (init + execution) over completions, ms.
+    pub sum_latency_ms: f64,
+    /// Sum of billed compute cost over completions, USD.
+    pub sum_cost_usd: f64,
+    /// Memory-time spent executing (including initialization), MB·ms.
+    pub busy_mb_ms: f64,
+    /// Memory-time spent on useful execution only (no initialization),
+    /// MB·ms — equal across placement policies serving the same completed
+    /// work, unlike `busy_mb_ms`.
+    pub exec_mb_ms: f64,
+    /// Memory-time spent warm but idle, MB·ms — the waste of keep-alive.
+    pub wasted_mb_ms: f64,
+    /// Total host capacity × observed horizon, MB·ms.
+    pub capacity_mb_ms: f64,
+}
+
+impl FleetCounters {
+    /// Requests rejected with a 429 for any reason.
+    pub fn throttled(&self) -> usize {
+        self.throttled_function + self.throttled_account + self.throttled_capacity
+    }
+
+    /// The conservation invariant every fleet state must satisfy:
+    /// `submitted == completed + in_flight + throttled`.
+    pub fn is_conserved(&self) -> bool {
+        self.submitted == self.completed + self.in_flight + self.throttled()
+    }
+}
+
+/// Rates and ratios derived from [`FleetCounters`] — the fleet's
+/// paper-style result row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Cold starts per started (non-throttled) request.
+    pub cold_start_rate: f64,
+    /// 429s per submitted request.
+    pub throttle_rate: f64,
+    /// Busy memory-time over capacity memory-time, in `[0, 1]`.
+    pub utilization: f64,
+    /// Execution-only memory-time over capacity memory-time, in `[0, 1]`
+    /// — the goodput view that factors out cold-start overhead.
+    pub goodput_utilization: f64,
+    /// Warm-but-idle memory-time, MB·ms.
+    pub wasted_mb_ms: f64,
+    /// Mean end-to-end latency over completions, ms.
+    pub mean_latency_ms: f64,
+    /// Mean billed cost per completion, USD.
+    pub mean_cost_usd: f64,
+    /// Provider-side resource footprint per completion: busy plus wasted
+    /// memory-time divided by completions, MB·ms. A keep-alive policy that
+    /// *dominates* minimizes this — it pays neither repeated cold-start
+    /// initialization (busy) nor long idle tails (wasted).
+    pub resource_mb_ms_per_completion: f64,
+}
+
+impl FleetMetrics {
+    /// Derives the rate metrics from raw counters. Ratios with a zero
+    /// denominator are reported as 0.
+    pub fn from_counters(c: &FleetCounters) -> Self {
+        let started = c.completed + c.in_flight;
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        FleetMetrics {
+            cold_start_rate: ratio(c.cold_starts as f64, started as f64),
+            throttle_rate: ratio(c.throttled() as f64, c.submitted as f64),
+            utilization: ratio(c.busy_mb_ms, c.capacity_mb_ms),
+            goodput_utilization: ratio(c.exec_mb_ms, c.capacity_mb_ms),
+            wasted_mb_ms: c.wasted_mb_ms,
+            mean_latency_ms: ratio(c.sum_latency_ms, c.completed as f64),
+            mean_cost_usd: ratio(c.sum_cost_usd, c.completed as f64),
+            resource_mb_ms_per_completion: ratio(
+                c.busy_mb_ms + c.wasted_mb_ms,
+                c.completed as f64,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> FleetCounters {
+        FleetCounters {
+            submitted: 100,
+            completed: 80,
+            in_flight: 5,
+            throttled_function: 6,
+            throttled_account: 4,
+            throttled_capacity: 5,
+            cold_starts: 17,
+            sum_latency_ms: 8_000.0,
+            sum_cost_usd: 0.004,
+            busy_mb_ms: 40_000.0,
+            exec_mb_ms: 30_000.0,
+            wasted_mb_ms: 10_000.0,
+            capacity_mb_ms: 200_000.0,
+        }
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let c = counters();
+        assert_eq!(c.throttled(), 15);
+        assert!(c.is_conserved());
+        let broken = FleetCounters {
+            completed: 81,
+            ..c
+        };
+        assert!(!broken.is_conserved());
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = FleetMetrics::from_counters(&counters());
+        assert!((m.cold_start_rate - 17.0 / 85.0).abs() < 1e-12);
+        assert!((m.throttle_rate - 0.15).abs() < 1e-12);
+        assert!((m.utilization - 0.2).abs() < 1e-12);
+        assert!((m.goodput_utilization - 0.15).abs() < 1e-12);
+        assert!((m.mean_latency_ms - 100.0).abs() < 1e-12);
+        assert!((m.mean_cost_usd - 5e-5).abs() < 1e-12);
+        assert!((m.resource_mb_ms_per_completion - 625.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_do_not_divide() {
+        let m = FleetMetrics::from_counters(&FleetCounters::default());
+        assert_eq!(m.cold_start_rate, 0.0);
+        assert_eq!(m.throttle_rate, 0.0);
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.mean_latency_ms, 0.0);
+        assert_eq!(m.resource_mb_ms_per_completion, 0.0);
+    }
+}

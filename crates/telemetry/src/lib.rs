@@ -19,16 +19,20 @@
 //!   regression model consumes.
 //! * [`stability`] — the Figure-3 analysis: per-metric Mann–Whitney tests of
 //!   prefix windows against the full measurement.
+//! * [`fleet`] — cluster-level metrics ([`FleetCounters`]/[`FleetMetrics`]):
+//!   cold-start rate, throttle rate, host utilization, wasted memory-time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod fleet;
 pub mod metric;
 pub mod monitor;
 pub mod stability;
 
 pub use aggregate::{MetricAggregate, MetricVector};
+pub use fleet::{FleetCounters, FleetMetrics};
 pub use metric::{Metric, METRIC_COUNT};
 pub use monitor::{InvocationSample, MetricStore, ResourceMonitor};
 pub use stability::{StabilityAnalysis, StabilityConfig};

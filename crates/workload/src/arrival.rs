@@ -58,26 +58,29 @@ impl ArrivalProcess {
         self.kind
     }
 
-    /// Generates all arrival instants (ms) in `[0, duration_ms)`.
+    /// Draws the gap (ms) to the next arrival — the incremental form of
+    /// [`ArrivalProcess::arrivals_ms`] used by event-driven consumers (the
+    /// fleet simulator schedules each arrival as it happens instead of
+    /// materializing the whole trace).
+    pub fn next_gap_ms(&self, rng: &mut RngStream) -> f64 {
+        let mean_gap_ms = 1000.0 / self.rps;
+        match self.kind {
+            ArrivalKind::Poisson => Exponential::with_mean(mean_gap_ms)
+                .expect("positive mean")
+                .sample(rng),
+            ArrivalKind::Constant => mean_gap_ms,
+        }
+    }
+
+    /// Generates all arrival instants (ms) in `[0, duration_ms)` — the
+    /// batch form of [`ArrivalProcess::next_gap_ms`].
     pub fn arrivals_ms(&self, duration_ms: f64, rng: &mut RngStream) -> Vec<f64> {
         let mean_gap_ms = 1000.0 / self.rps;
         let mut out = Vec::with_capacity((duration_ms / mean_gap_ms) as usize + 8);
-        match self.kind {
-            ArrivalKind::Poisson => {
-                let exp = Exponential::with_mean(mean_gap_ms).expect("positive mean");
-                let mut t = exp.sample(rng);
-                while t < duration_ms {
-                    out.push(t);
-                    t += exp.sample(rng);
-                }
-            }
-            ArrivalKind::Constant => {
-                let mut t = mean_gap_ms;
-                while t < duration_ms {
-                    out.push(t);
-                    t += mean_gap_ms;
-                }
-            }
+        let mut t = self.next_gap_ms(rng);
+        while t < duration_ms {
+            out.push(t);
+            t += self.next_gap_ms(rng);
         }
         out
     }

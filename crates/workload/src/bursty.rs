@@ -49,41 +49,37 @@ impl BurstyArrival {
         (self.base_rps * self.mean_base_ms + self.burst_rps * self.mean_burst_ms) / total
     }
 
-    /// Generates all arrival instants (ms) in `[0, duration_ms)`.
+    /// Generates all arrival instants (ms) in `[0, duration_ms)` — the
+    /// batch form of [`BurstyArrival::sampler`], sharing its state machine
+    /// so the two APIs agree by construction.
     pub fn arrivals_ms(&self, duration_ms: f64, rng: &mut RngStream) -> Vec<f64> {
-        let base_gap = Exponential::with_mean(1000.0 / self.base_rps).expect("positive rate");
-        let burst_gap = Exponential::with_mean(1000.0 / self.burst_rps).expect("positive rate");
-        let base_sojourn = Exponential::with_mean(self.mean_base_ms).expect("positive sojourn");
-        let burst_sojourn = Exponential::with_mean(self.mean_burst_ms).expect("positive sojourn");
-
+        let mut sampler = self.sampler(rng);
         let mut out = Vec::new();
         let mut t = 0.0;
-        let mut in_burst = false;
-        let mut state_end = base_sojourn.sample(rng);
-        while t < duration_ms {
-            let gap = if in_burst {
-                burst_gap.sample(rng)
-            } else {
-                base_gap.sample(rng)
-            };
-            if t + gap < state_end {
-                t += gap;
-                if t < duration_ms {
-                    out.push(t);
-                }
-            } else {
-                // State switch wins the race; by memorylessness of the
-                // exponential the pending gap can simply be discarded.
-                t = state_end;
-                in_burst = !in_burst;
-                state_end += if in_burst {
-                    burst_sojourn.sample(rng)
-                } else {
-                    base_sojourn.sample(rng)
-                };
+        loop {
+            t += sampler.next_gap_ms(rng);
+            if t >= duration_ms {
+                return out;
             }
+            out.push(t);
         }
-        out
+    }
+
+    /// Creates an incremental sampler over this process. The sampler draws
+    /// from `rng` in exactly the order [`BurstyArrival::arrivals_ms`] does,
+    /// so the arrival instants it produces match the batch API — it exists
+    /// for event-driven consumers (the fleet simulator) that schedule one
+    /// arrival at a time.
+    pub fn sampler(&self, rng: &mut RngStream) -> BurstySampler {
+        let state_end = Exponential::with_mean(self.mean_base_ms)
+            .expect("positive sojourn")
+            .sample(rng);
+        BurstySampler {
+            process: *self,
+            t: 0.0,
+            in_burst: false,
+            state_end,
+        }
     }
 
     /// Index of dispersion of counts over windows of `window_ms` — the
@@ -105,6 +101,59 @@ impl BurstyArrival {
         let var =
             counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / windows as f64;
         var / mean
+    }
+}
+
+/// Incremental state of a [`BurstyArrival`] process: tracks the current
+/// modulation state and its end so gaps can be drawn one arrival at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstySampler {
+    process: BurstyArrival,
+    /// Absolute time of the previous arrival (or 0 at the start).
+    t: f64,
+    in_burst: bool,
+    state_end: f64,
+}
+
+impl BurstySampler {
+    /// Draws the gap (ms) between the previous arrival and the next one,
+    /// advancing through state switches as needed.
+    pub fn next_gap_ms(&mut self, rng: &mut RngStream) -> f64 {
+        let base_gap =
+            Exponential::with_mean(1000.0 / self.process.base_rps).expect("positive rate");
+        let burst_gap =
+            Exponential::with_mean(1000.0 / self.process.burst_rps).expect("positive rate");
+        let base_sojourn =
+            Exponential::with_mean(self.process.mean_base_ms).expect("positive sojourn");
+        let burst_sojourn =
+            Exponential::with_mean(self.process.mean_burst_ms).expect("positive sojourn");
+
+        let prev = self.t;
+        loop {
+            let gap = if self.in_burst {
+                burst_gap.sample(rng)
+            } else {
+                base_gap.sample(rng)
+            };
+            if self.t + gap < self.state_end {
+                self.t += gap;
+                return self.t - prev;
+            }
+            // State switch wins the race; by memorylessness of the
+            // exponential the pending gap can simply be discarded.
+            self.t = self.state_end;
+            self.in_burst = !self.in_burst;
+            self.state_end += if self.in_burst {
+                burst_sojourn.sample(rng)
+            } else {
+                base_sojourn.sample(rng)
+            };
+        }
+    }
+
+    /// Whether the process is currently in the burst state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
     }
 }
 
@@ -169,5 +218,43 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = BurstyArrival::new(0.0, 10.0, 100.0, 100.0);
+    }
+
+    #[test]
+    fn sampler_matches_batch_arrivals() {
+        let b = bursty();
+        let duration = 120_000.0;
+        let mut batch_rng = RngStream::from_seed(21, "bursty-eq");
+        let batch = b.arrivals_ms(duration, &mut batch_rng);
+
+        let mut inc_rng = RngStream::from_seed(21, "bursty-eq");
+        let mut sampler = b.sampler(&mut inc_rng);
+        let mut incremental = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += sampler.next_gap_ms(&mut inc_rng);
+            if t >= duration {
+                break;
+            }
+            incremental.push(t);
+        }
+        assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn poisson_gap_sampler_matches_batch() {
+        let p = ArrivalProcess::poisson(20.0);
+        let duration = 60_000.0;
+        let mut batch_rng = RngStream::from_seed(5, "arr-eq");
+        let batch = p.arrivals_ms(duration, &mut batch_rng);
+
+        let mut inc_rng = RngStream::from_seed(5, "arr-eq");
+        let mut incremental = Vec::new();
+        let mut t = p.next_gap_ms(&mut inc_rng);
+        while t < duration {
+            incremental.push(t);
+            t += p.next_gap_ms(&mut inc_rng);
+        }
+        assert_eq!(batch, incremental);
     }
 }

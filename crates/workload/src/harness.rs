@@ -9,7 +9,7 @@
 use crate::arrival::ArrivalProcess;
 use serde::{Deserialize, Serialize};
 use sizeless_engine::RngStream;
-use sizeless_platform::platform::WarmPool;
+use sizeless_platform::pool::WarmPool;
 use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile};
 use sizeless_telemetry::{MetricStore, MetricVector, ResourceMonitor};
 

@@ -27,7 +27,7 @@ pub mod parallel;
 pub mod trials;
 
 pub use arrival::{ArrivalKind, ArrivalProcess};
-pub use bursty::BurstyArrival;
+pub use bursty::{BurstyArrival, BurstySampler};
 pub use harness::{run_experiment, ExperimentConfig, Measurement, MeasurementSummary};
 pub use parallel::measure_parallel;
 pub use trials::{InterleavedTrials, TrialPlan};

@@ -13,6 +13,8 @@
 //! * [`platform`] — the serverless platform simulator standing in for AWS
 //!   Lambda (resource model, pricing, cold starts, managed services).
 //! * [`workload`] — load generation and the measurement harness.
+//! * [`fleet`] — the cluster-level fleet simulator (invoker hosts,
+//!   schedulers, keep-alive policies, concurrency throttling).
 //! * [`funcgen`] — the synthetic function generator (16 segment types).
 //! * [`telemetry`] — resource-consumption monitoring (the 25 Table-1
 //!   metrics) and the metric-stability analysis.
@@ -45,6 +47,7 @@
 pub use sizeless_apps as apps;
 pub use sizeless_core as core;
 pub use sizeless_engine as engine;
+pub use sizeless_fleet as fleet;
 pub use sizeless_funcgen as funcgen;
 pub use sizeless_neural as neural;
 pub use sizeless_platform as platform;

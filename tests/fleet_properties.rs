@@ -1,0 +1,163 @@
+//! Property-based tests of the fleet simulator's safety invariants.
+//!
+//! Every run here executes with `FleetConfig::with_invariant_checks()`, so
+//! the fleet re-asserts after *every* simulation event that
+//!
+//! * host memory capacity is never exceeded,
+//! * per-function and account concurrency limits are never exceeded, and
+//! * `throttled + completed + in_flight == submitted` (conservation);
+//!
+//! a violation panics inside the run and fails the property. The final
+//! report is then checked for end-state consistency.
+
+use proptest::prelude::*;
+use sizeless::fleet::{
+    run_fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind, SchedulerKind,
+};
+use sizeless::platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
+use sizeless::workload::{ArrivalProcess, BurstyArrival};
+
+/// Strategy: a small two-function workload with steady + bursty arrivals.
+fn functions_strategy() -> impl Strategy<Value = Vec<FleetFunction>> {
+    (
+        (5.0f64..80.0, 2.0f64..30.0, 0usize..6), // steady fn: cpu ms, rps, memory idx
+        (10.0f64..120.0, 1.0f64..8.0, 2.0f64..12.0, 0usize..6), // bursty fn
+    )
+        .prop_map(|((cpu_a, rps, mem_a), (cpu_b, base, mult, mem_b))| {
+            vec![
+                FleetFunction::new(
+                    FunctionConfig::new(
+                        ResourceProfile::builder("prop-steady")
+                            .stage(Stage::cpu("work", cpu_a))
+                            .init_cpu_ms(80.0)
+                            .build(),
+                        MemorySize::STANDARD[mem_a],
+                    ),
+                    FleetArrival::Steady(ArrivalProcess::poisson(rps)),
+                ),
+                FleetFunction::new(
+                    FunctionConfig::new(
+                        ResourceProfile::builder("prop-bursty")
+                            .stage(Stage::cpu("work", cpu_b))
+                            .package_size_mb(12.0)
+                            .build(),
+                        MemorySize::STANDARD[mem_b],
+                    ),
+                    FleetArrival::Bursty(BurstyArrival::new(
+                        base,
+                        base * mult,
+                        4_000.0,
+                        1_500.0,
+                    )),
+                ),
+            ]
+        })
+}
+
+/// Strategy: cluster shapes from a cramped single host to a small fleet.
+fn config_strategy() -> impl Strategy<Value = FleetConfig> {
+    (
+        1usize..5,    // hosts
+        0usize..3,    // host memory: 1, 2, or 4 GB
+        0u64..500,    // seed
+        0usize..3,    // function limit: none, 4, 8
+        0usize..3,    // account limit: none, 6, 12
+    )
+        .prop_map(|(hosts, mem, seed, fn_cap, acct_cap)| {
+            let mut cfg = FleetConfig::new(
+                hosts,
+                [1024.0, 2048.0, 4096.0][mem],
+                6_000.0,
+                seed,
+            )
+            .with_invariant_checks();
+            if fn_cap > 0 {
+                cfg = cfg.with_function_limit(4 * fn_cap);
+            }
+            if acct_cap > 0 {
+                cfg = cfg.with_account_limit(6 * acct_cap);
+            }
+            cfg
+        })
+}
+
+/// Strategy: one of the scheduler × keep-alive policy combinations.
+fn policy_strategy() -> impl Strategy<Value = (SchedulerKind, KeepAliveKind)> {
+    (0usize..4, 0usize..3)
+        .prop_map(|(s, k)| (SchedulerKind::ALL[s], KeepAliveKind::ALL[k]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Capacity, concurrency, and conservation invariants hold after every
+    /// event (checked inside the run), and the end state is consistent.
+    #[test]
+    fn fleet_invariants_hold_at_every_event_step(
+        functions in functions_strategy(),
+        config in config_strategy(),
+        (scheduler, keepalive) in policy_strategy(),
+    ) {
+        let platform = Platform::aws_like();
+        let report = run_fleet(&platform, &config, &functions, scheduler, keepalive);
+
+        // Conservation at the end, with nothing left in flight.
+        prop_assert!(report.counters.is_conserved());
+        prop_assert_eq!(report.counters.in_flight, 0);
+        prop_assert_eq!(
+            report.counters.submitted,
+            report.counters.completed + report.counters.throttled()
+        );
+
+        // Cold starts only happen on invocations that actually started.
+        prop_assert!(report.counters.cold_starts <= report.counters.completed);
+        prop_assert!(report.provisioned_instances <= report.counters.completed);
+
+        // Utilization and rates are proper fractions.
+        prop_assert!((0.0..=1.0).contains(&report.metrics.utilization));
+        prop_assert!(report.metrics.goodput_utilization <= report.metrics.utilization);
+        prop_assert!((0.0..=1.0).contains(&report.metrics.cold_start_rate));
+        prop_assert!((0.0..=1.0).contains(&report.metrics.throttle_rate));
+
+        // Memory-time ledgers are non-negative and bounded by capacity.
+        prop_assert!(report.counters.busy_mb_ms >= 0.0);
+        prop_assert!(report.counters.wasted_mb_ms >= 0.0);
+        prop_assert!(
+            report.counters.busy_mb_ms + report.counters.wasted_mb_ms
+                <= report.counters.capacity_mb_ms * (1.0 + 1e-9)
+        );
+    }
+
+    /// A fleet with one huge host and no limits never throttles: it is the
+    /// single-function harness generalized (every request completes).
+    #[test]
+    fn unconstrained_fleet_never_throttles(
+        functions in functions_strategy(),
+        seed in 0u64..500,
+    ) {
+        let platform = Platform::aws_like();
+        let config = FleetConfig::new(1, 1e9, 6_000.0, seed).with_invariant_checks();
+        let report = run_fleet(
+            &platform,
+            &config,
+            &functions,
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        prop_assert_eq!(report.counters.throttled(), 0);
+        prop_assert_eq!(report.counters.submitted, report.counters.completed);
+    }
+
+    /// Bit-identical reports from identical seeds, regardless of policy.
+    #[test]
+    fn fleet_runs_replay_exactly(
+        functions in functions_strategy(),
+        config in config_strategy(),
+        (scheduler, keepalive) in policy_strategy(),
+    ) {
+        let platform = Platform::aws_like();
+        let a = run_fleet(&platform, &config, &functions, scheduler, keepalive);
+        let b = run_fleet(&platform, &config, &functions, scheduler, keepalive);
+        prop_assert_eq!(a, b);
+    }
+}
