@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sizeless_engine::RngStream;
-use sizeless_neural::{Loss, Matrix, NetworkConfig, NeuralNetwork};
+use sizeless_neural::{
+    cross_validate, Loss, Matrix, NetworkConfig, NeuralNetwork, OptimizerKind, Scratch,
+};
 
 fn dataset(n: usize, dim: usize, targets: usize, seed: u64) -> (Matrix, Matrix) {
     let mut rng = RngStream::from_seed(seed, "bench-nn-data");
@@ -53,6 +55,66 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("neural/matrix/matmul_256x256", |bch| {
         bch.iter(|| a.matmul(&b_m))
     });
+
+    // The fused kernels by size, with the output buffer reused the way the
+    // training loop does it.
+    let mut group = c.benchmark_group("neural/matrix");
+    for &size in &[64usize, 128, 256] {
+        let a = Matrix::he_init(size, size, &mut rng);
+        let b = Matrix::he_init(size, size, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
+        group.bench_function(format!("matmul_into_{size}x{size}"), |bch| {
+            bch.iter(|| a.matmul_into(&b, &mut out))
+        });
+    }
+    // The backward-pass shapes of the Table-2 architecture (batch 32).
+    let x = Matrix::he_init(32, 256, &mut rng);
+    let delta = Matrix::he_init(32, 256, &mut rng);
+    let w = Matrix::he_init(256, 256, &mut rng);
+    let mut out = Matrix::zeros(0, 0);
+    group.bench_function("matmul_transpose_a_into_dw_256", |bch| {
+        bch.iter(|| x.matmul_transpose_a_into(&delta, &mut out))
+    });
+    group.bench_function("matmul_transpose_b_into_grad_256", |bch| {
+        bch.iter(|| delta.matmul_transpose_b_into(&w, &mut out))
+    });
+    group.finish();
+}
+
+fn bench_single_train_step(c: &mut Criterion) {
+    // Exactly one mini-batch step of the paper's Table-2 architecture:
+    // 32 rows at batch size 32 for one epoch.
+    let (x, y) = dataset(32, 11, 5, 7);
+    let cfg = NetworkConfig {
+        epochs: 1,
+        ..NetworkConfig::default()
+    };
+    let mut scratch = Scratch::new();
+    c.bench_function("neural/train/single_step_table2_arch_batch32", |b| {
+        b.iter(|| {
+            let mut net = NeuralNetwork::new(11, 5, &cfg, 9);
+            net.fit_with(&x, &y, &mut scratch);
+            net
+        })
+    });
+}
+
+fn bench_one_grid_point(c: &mut Criterion) {
+    // One grid-search evaluation: 3-fold CV of a small configuration — the
+    // unit of work the Table-2 search repeats 1296 times.
+    let (x, y) = dataset(120, 11, 5, 8);
+    let cfg = NetworkConfig {
+        hidden_layers: 2,
+        neurons: 64,
+        loss: Loss::Mse,
+        optimizer: OptimizerKind::Adam { lr: 0.001 },
+        l2: 0.0001,
+        epochs: 10,
+        ..NetworkConfig::default()
+    };
+    c.bench_function("neural/grid/one_point_3fold_cv_10epochs", |b| {
+        b.iter(|| cross_validate(&x, &y, &cfg, 3, 1, 5))
+    });
 }
 
 fn bench_losses(c: &mut Criterion) {
@@ -71,5 +133,13 @@ fn bench_losses(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training_epoch, bench_inference, bench_matmul, bench_losses);
+criterion_group!(
+    benches,
+    bench_training_epoch,
+    bench_inference,
+    bench_matmul,
+    bench_single_train_step,
+    bench_one_grid_point,
+    bench_losses
+);
 criterion_main!(benches);

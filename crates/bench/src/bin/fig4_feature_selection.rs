@@ -12,7 +12,7 @@ use sizeless_bench::{print_table, ExperimentContext};
 use sizeless_core::dataset::TrainingDataset;
 use sizeless_core::features::{sfs_candidates, FeatureDef, FeatureKind};
 use sizeless_core::model::target_sizes;
-use sizeless_neural::{forward_selection, Matrix, NetworkConfig};
+use sizeless_neural::{forward_selection_threaded, Matrix, NetworkConfig};
 use sizeless_platform::{MemorySize, Platform};
 use sizeless_telemetry::Metric;
 
@@ -43,6 +43,7 @@ fn design(ds: &TrainingDataset, base: MemorySize, feats: &[FeatureDef]) -> (Matr
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_round(
     name: &str,
     ds: &TrainingDataset,
@@ -51,13 +52,15 @@ fn run_round(
     max_features: usize,
     cfg: &NetworkConfig,
     seed: u64,
+    threads: usize,
 ) -> Round {
     let (x, y) = design(ds, base, candidates);
     // Standardize once over the full candidate matrix: SFS compares subsets
     // of the same standardized columns.
     let (_, x) = sizeless_neural::StandardScaler::fit_transform(&x);
     let indices: Vec<usize> = (0..candidates.len()).collect();
-    let result = forward_selection(&x, &y, &indices, cfg, 3, max_features, seed);
+    let result =
+        forward_selection_threaded(&x, &y, &indices, cfg, 3, max_features, seed, threads);
     Round {
         name: name.to_string(),
         feature_names: result.order.iter().map(|&i| candidates[i].name()).collect(),
@@ -103,7 +106,16 @@ fn main() {
         .collect();
 
     let rounds = vec![
-        run_round("Round 1 (means, F0)", &ds_small, base, &means, max_features, &probe, ctx.seed),
+        run_round(
+            "Round 1 (means, F0)",
+            &ds_small,
+            base,
+            &means,
+            max_features,
+            &probe,
+            ctx.seed,
+            ctx.thread_count(),
+        ),
         run_round(
             "Round 2 (+ per-second rates, F2)",
             &ds_small,
@@ -112,6 +124,7 @@ fn main() {
             max_features,
             &probe,
             ctx.seed + 1,
+            ctx.thread_count(),
         ),
         run_round(
             "Round 3 (+ std/cv, F4 candidates)",
@@ -121,6 +134,7 @@ fn main() {
             max_features,
             &probe,
             ctx.seed + 2,
+            ctx.thread_count(),
         ),
     ];
 

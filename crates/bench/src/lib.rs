@@ -6,7 +6,12 @@
 //! * `--seed <u64>` — master seed (default 0);
 //! * `--scale <f64>` — ≥ 1 shrinks dataset sizes / durations / epochs for
 //!   quick runs (default 5; use `--scale 1` for the paper-scale run);
-//! * `--out <dir>` — results directory (default `results/`).
+//! * `--out <dir>` — results directory (default `results/`);
+//! * `--threads <usize>` — worker threads for measurement and training
+//!   fan-outs (default: the `SIZELESS_THREADS` environment variable if
+//!   set, else the machine's available parallelism). Results are
+//!   bit-identical for every thread count — the knob trades wall-clock
+//!   time only.
 //!
 //! Binaries print paper-style tables to stdout and persist JSON into the
 //! results directory so `EXPERIMENTS.md` numbers are regenerable.
@@ -31,6 +36,8 @@ pub struct ExperimentContext {
     pub scale: f64,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
+    /// Worker threads (`0` = auto: `SIZELESS_THREADS` or all cores).
+    pub threads: usize,
 }
 
 impl ExperimentContext {
@@ -45,6 +52,7 @@ impl ExperimentContext {
             seed: 0,
             scale: 5.0,
             out_dir: PathBuf::from("results"),
+            threads: 0,
         };
         let mut i = 1;
         while i < args.len() {
@@ -62,10 +70,27 @@ impl ExperimentContext {
                     ctx.out_dir = PathBuf::from(&args[i + 1]);
                     i += 2;
                 }
-                other => panic!("unknown argument `{other}` (expected --seed/--scale/--out)"),
+                "--threads" => {
+                    ctx.threads = args[i + 1].parse().expect("--threads takes a usize >= 1");
+                    assert!(ctx.threads >= 1, "--threads must be >= 1");
+                    i += 2;
+                }
+                other => {
+                    panic!("unknown argument `{other}` (expected --seed/--scale/--out/--threads)")
+                }
             }
         }
         ctx
+    }
+
+    /// The effective worker-thread count: `--threads` if given, otherwise
+    /// [`worker_threads`] (which honors `SIZELESS_THREADS`).
+    pub fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            worker_threads()
+        }
     }
 
     /// The dataset configuration at this scale: the paper's 2 000 functions
@@ -83,7 +108,7 @@ impl ExperimentContext {
             },
             generator: Default::default(),
             seed: self.seed,
-            threads: worker_threads(),
+            threads: self.thread_count(),
         }
     }
 
@@ -171,7 +196,7 @@ impl ExperimentContext {
             .map(|&app| {
                 let mut plan = MeasurementPlan::scaled(app, self.scale * 4.0);
                 plan.seed = self.seed;
-                plan.threads = worker_threads();
+                plan.threads = self.thread_count();
                 eprintln!(
                     "[measure] {app}: {} fns x 6 sizes x {} reps x {:.0}s @ {} rps",
                     app.functions().len(),
@@ -193,11 +218,11 @@ impl ExperimentContext {
     }
 }
 
-/// Number of measurement worker threads (respects available parallelism).
+/// Number of worker threads: the `SIZELESS_THREADS` environment variable
+/// if set, else available parallelism (see
+/// [`sizeless_neural::parallel::default_threads`]).
 pub fn worker_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    sizeless_neural::parallel::default_threads()
 }
 
 /// Prints an aligned text table.
@@ -248,6 +273,7 @@ mod tests {
             seed: 0,
             scale: 10.0,
             out_dir: PathBuf::from("/tmp"),
+            threads: 0,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 200);
@@ -260,6 +286,7 @@ mod tests {
             seed: 0,
             scale: 1.0,
             out_dir: PathBuf::from("/tmp"),
+            threads: 0,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 2000);

@@ -11,6 +11,7 @@ use crate::error::CoreError;
 use crate::features::FeatureSet;
 use serde::{Deserialize, Serialize};
 use sizeless_neural::crossval::{CrossValReport, KFold};
+use sizeless_neural::parallel::{default_threads, parallel_map};
 use sizeless_neural::{Matrix, NetworkConfig, NeuralNetwork, StandardScaler};
 use sizeless_platform::MemorySize;
 use sizeless_stats::regression;
@@ -171,6 +172,10 @@ pub fn design_matrices(
 /// Cross-validates the model for one base size with per-fold feature
 /// scaling — the evaluation behind Table 3.
 ///
+/// Folds fan out over [`default_threads`] workers; the report is
+/// bit-identical for every thread count (see
+/// [`evaluate_base_size_threaded`]).
+///
 /// # Panics
 ///
 /// Panics if the dataset has fewer rows than `k` or `iterations` is zero.
@@ -183,27 +188,72 @@ pub fn evaluate_base_size(
     iterations: usize,
     seed: u64,
 ) -> CrossValReport {
+    evaluate_base_size_threaded(
+        dataset,
+        base,
+        feature_set,
+        config,
+        k,
+        iterations,
+        seed,
+        default_threads(),
+    )
+}
+
+/// [`evaluate_base_size`] with an explicit worker-thread count.
+///
+/// Every fold derives its seed from `(seed, iteration, fold)` and fits its
+/// own scaler on the training split only; held-out predictions are pooled
+/// in fold order, so the report is **bit-identical** regardless of
+/// `threads`.
+///
+/// # Panics
+///
+/// Panics if the dataset has fewer rows than `k`, `iterations` is zero, or
+/// `threads` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_base_size_threaded(
+    dataset: &TrainingDataset,
+    base: MemorySize,
+    feature_set: FeatureSet,
+    config: &NetworkConfig,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+) -> CrossValReport {
     assert!(iterations > 0, "at least one iteration required");
     let (x_raw, y) = design_matrices(dataset, base, feature_set);
-    let mut all_true = Vec::new();
-    let mut all_pred = Vec::new();
 
+    let mut jobs: Vec<(Vec<usize>, Vec<usize>, u64)> = Vec::with_capacity(iterations * k);
     for iter in 0..iterations {
         let folds = KFold::new(k, seed.wrapping_add(iter as u64)).splits(x_raw.rows());
         for (f, (train_idx, test_idx)) in folds.into_iter().enumerate() {
-            let x_train_raw = x_raw.select_rows(&train_idx);
-            let (scaler, x_train) = StandardScaler::fit_transform(&x_train_raw);
-            let y_train = y.select_rows(&train_idx);
-            let x_test = scaler.transform(&x_raw.select_rows(&test_idx));
-            let y_test = y.select_rows(&test_idx);
-
             let net_seed = seed.wrapping_mul(31).wrapping_add((iter * 100 + f) as u64);
-            let mut net = NeuralNetwork::new(x_train.cols(), y_train.cols(), config, net_seed);
-            net.fit(&x_train, &y_train);
-            let pred = net.predict(&x_test);
-            all_true.extend_from_slice(y_test.data());
-            all_pred.extend(pred.data().iter().map(|p| p.max(0.01)));
+            jobs.push((train_idx, test_idx, net_seed));
         }
+    }
+
+    let fold_results = parallel_map(threads, jobs.len(), |i, scratch| {
+        let (train_idx, test_idx, net_seed) = &jobs[i];
+        let x_train_raw = x_raw.select_rows(train_idx);
+        let (scaler, x_train) = StandardScaler::fit_transform(&x_train_raw);
+        let y_train = y.select_rows(train_idx);
+        let x_test = scaler.transform(&x_raw.select_rows(test_idx));
+        let y_test = y.select_rows(test_idx);
+
+        let mut net = NeuralNetwork::new(x_train.cols(), y_train.cols(), config, *net_seed);
+        net.fit_with(&x_train, &y_train, scratch);
+        let pred = net.predict(&x_test);
+        let clamped: Vec<f64> = pred.data().iter().map(|p| p.max(0.01)).collect();
+        (y_test.data().to_vec(), clamped)
+    });
+
+    let mut all_true = Vec::new();
+    let mut all_pred = Vec::new();
+    for (t, p) in fold_results {
+        all_true.extend_from_slice(&t);
+        all_pred.extend_from_slice(&p);
     }
 
     CrossValReport {

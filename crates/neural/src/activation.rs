@@ -30,6 +30,35 @@ impl Activation {
         }
         d
     }
+
+    /// Multiplies `grad` in place by the activation derivative, evaluated
+    /// from the *post-activation* `output` — the allocation-free form used
+    /// by the backward pass.
+    ///
+    /// For the activations here the derivative is recoverable from the
+    /// output alone: ReLU output is positive exactly where its
+    /// pre-activation was, and the linear derivative is 1 everywhere, so
+    /// this is bit-identical to `grad ⊙ derivative(pre)` while needing
+    /// neither a cached pre-activation matrix nor a derivative allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply_derivative(self, output: &Matrix, grad: &mut Matrix) {
+        assert_eq!(
+            (output.rows(), output.cols()),
+            (grad.rows(), grad.cols()),
+            "derivative shape mismatch"
+        );
+        match self {
+            Activation::Relu => {
+                for (g, &o) in grad.data_mut().iter_mut().zip(output.data()) {
+                    *g = if o > 0.0 { *g } else { 0.0 };
+                }
+            }
+            Activation::Linear => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -48,6 +77,22 @@ mod tests {
         let m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
         let d = Activation::Relu.derivative(&m);
         assert_eq!(d.row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_derivative_matches_hadamard_with_derivative() {
+        let pre = Matrix::from_rows(&[&[-1.0, 0.0, 2.0], &[3.0, -0.5, 0.1]]);
+        for act in [Activation::Relu, Activation::Linear] {
+            let mut out = pre.clone();
+            act.forward_inplace(&mut out);
+            let mut grad = Matrix::from_rows(&[&[0.3, -0.7, 1.1], &[-2.0, 0.4, 5.0]]);
+            let mut reference = grad.clone();
+            reference.hadamard_inplace(&act.derivative(&pre));
+            act.apply_derivative(&out, &mut grad);
+            for (a, b) in grad.data().iter().zip(reference.data()) {
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

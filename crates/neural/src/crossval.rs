@@ -8,6 +8,8 @@
 
 use crate::matrix::Matrix;
 use crate::network::{NetworkConfig, NeuralNetwork};
+use crate::parallel::{default_threads, parallel_map};
+use crate::scratch::Scratch;
 use serde::{Deserialize, Serialize};
 use sizeless_engine::RngStream;
 use sizeless_stats::regression;
@@ -74,7 +76,9 @@ pub struct CrossValReport {
     pub explained_variance: f64,
 }
 
-/// Runs `iterations × k`-fold cross-validation of a network on `(x, y)`.
+/// Runs `iterations × k`-fold cross-validation of a network on `(x, y)`,
+/// fanning the folds out over [`default_threads`] workers (bit-identical
+/// to the serial run; see [`cross_validate_threaded`]).
 ///
 /// Every fold trains a fresh network; held-out predictions from all folds
 /// and iterations are pooled before computing the metrics, matching how the
@@ -91,27 +95,108 @@ pub fn cross_validate(
     iterations: usize,
     seed: u64,
 ) -> CrossValReport {
-    assert!(iterations > 0, "at least one iteration required");
-    let mut all_true: Vec<f64> = Vec::new();
-    let mut all_pred: Vec<f64> = Vec::new();
+    cross_validate_threaded(x, y, config, k, iterations, seed, default_threads())
+}
 
+/// [`cross_validate`] with the folds fanned out over `threads` workers.
+///
+/// Every fold trains from a seed derived from `(seed, iteration, fold)`
+/// and held-out predictions are pooled in fold order, so the report is
+/// **bit-identical** for every thread count (pinned by the determinism
+/// suite).
+///
+/// # Panics
+///
+/// Panics if the dataset is smaller than `k`, `iterations` is zero, or
+/// `threads` is zero.
+pub fn cross_validate_threaded(
+    x: &Matrix,
+    y: &Matrix,
+    config: &NetworkConfig,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+) -> CrossValReport {
+    assert!(iterations > 0, "at least one iteration required");
+
+    // Materialize the fold jobs up front, in pooling order.
+    let mut jobs: Vec<(Vec<usize>, Vec<usize>, u64)> = Vec::with_capacity(iterations * k);
     for iter in 0..iterations {
         let folds = KFold::new(k, seed.wrapping_add(iter as u64)).splits(x.rows());
         for (f, (train_idx, test_idx)) in folds.into_iter().enumerate() {
-            let x_train = x.select_rows(&train_idx);
-            let y_train = y.select_rows(&train_idx);
-            let x_test = x.select_rows(&test_idx);
-            let y_test = y.select_rows(&test_idx);
-
             let net_seed = seed
                 .wrapping_mul(1_000_003)
                 .wrapping_add((iter * 31 + f) as u64);
-            let mut net = NeuralNetwork::new(x.cols(), y.cols(), config, net_seed);
-            net.fit(&x_train, &y_train);
-            let pred = net.predict(&x_test);
-            all_true.extend_from_slice(y_test.data());
-            all_pred.extend_from_slice(pred.data());
+            jobs.push((train_idx, test_idx, net_seed));
         }
+    }
+
+    let fold_results = parallel_map(threads, jobs.len(), |i, scratch| {
+        let (train_idx, test_idx, net_seed) = &jobs[i];
+        fold_predictions(x, y, config, train_idx, test_idx, *net_seed, scratch)
+    });
+
+    pooled_report(fold_results)
+}
+
+/// Serial cross-validation reusing a caller-owned scratch workspace —
+/// the inner loop of the parallel grid search, where each worker already
+/// runs on its own thread.
+pub(crate) fn cross_validate_with(
+    x: &Matrix,
+    y: &Matrix,
+    config: &NetworkConfig,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+    scratch: &mut Scratch,
+) -> CrossValReport {
+    assert!(iterations > 0, "at least one iteration required");
+    let mut fold_results = Vec::with_capacity(iterations * k);
+    for iter in 0..iterations {
+        let folds = KFold::new(k, seed.wrapping_add(iter as u64)).splits(x.rows());
+        for (f, (train_idx, test_idx)) in folds.into_iter().enumerate() {
+            let net_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((iter * 31 + f) as u64);
+            fold_results.push(fold_predictions(
+                x, y, config, &train_idx, &test_idx, net_seed, scratch,
+            ));
+        }
+    }
+    pooled_report(fold_results)
+}
+
+/// Trains one fold and returns `(held-out truth, held-out predictions)`.
+fn fold_predictions(
+    x: &Matrix,
+    y: &Matrix,
+    config: &NetworkConfig,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    net_seed: u64,
+    scratch: &mut Scratch,
+) -> (Vec<f64>, Vec<f64>) {
+    let x_train = x.select_rows(train_idx);
+    let y_train = y.select_rows(train_idx);
+    let x_test = x.select_rows(test_idx);
+    let y_test = y.select_rows(test_idx);
+
+    let mut net = NeuralNetwork::new(x.cols(), y.cols(), config, net_seed);
+    net.fit_with(&x_train, &y_train, scratch);
+    let pred = net.predict(&x_test);
+    (y_test.data().to_vec(), pred.data().to_vec())
+}
+
+/// Pools per-fold predictions (in fold order) into the aggregate report.
+fn pooled_report(fold_results: Vec<(Vec<f64>, Vec<f64>)>) -> CrossValReport {
+    let total: usize = fold_results.iter().map(|(t, _)| t.len()).sum();
+    let mut all_true: Vec<f64> = Vec::with_capacity(total);
+    let mut all_pred: Vec<f64> = Vec::with_capacity(total);
+    for (t, p) in fold_results {
+        all_true.extend_from_slice(&t);
+        all_pred.extend_from_slice(&p);
     }
 
     CrossValReport {
@@ -195,6 +280,42 @@ mod tests {
         assert!(report.r_squared > 0.9, "r2={}", report.r_squared);
         assert!(report.explained_variance >= report.r_squared - 0.05);
         assert!(report.mape < 0.2, "mape={}", report.mape);
+    }
+
+    /// The parallel fold fan-out must reproduce the serial report
+    /// bit-for-bit: same fold seeds, same pooling order.
+    #[test]
+    fn threaded_cross_validation_is_bit_identical_to_serial() {
+        let mut rng = RngStream::from_seed(9, "cv-par");
+        let n = 40;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.uniform(0.1, 1.0);
+            xs.push(a);
+            ys.push(1.5 * a + 0.2);
+        }
+        let x = Matrix::from_vec(n, 1, xs);
+        let y = Matrix::from_vec(n, 1, ys);
+        let cfg = NetworkConfig {
+            hidden_layers: 1,
+            neurons: 8,
+            loss: Loss::Mse,
+            optimizer: OptimizerKind::Adam { lr: 0.01 },
+            l2: 0.0,
+            epochs: 20,
+            batch_size: 8,
+            ..NetworkConfig::default()
+        };
+        let serial = cross_validate(&x, &y, &cfg, 4, 2, 3);
+        let parallel = cross_validate_threaded(&x, &y, &cfg, 4, 2, 3, 4);
+        assert_eq!(serial.mse.to_bits(), parallel.mse.to_bits());
+        assert_eq!(serial.mape.to_bits(), parallel.mape.to_bits());
+        assert_eq!(serial.r_squared.to_bits(), parallel.r_squared.to_bits());
+        assert_eq!(
+            serial.explained_variance.to_bits(),
+            parallel.explained_variance.to_bits()
+        );
     }
 
     #[test]

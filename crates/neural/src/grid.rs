@@ -4,11 +4,12 @@
 //! (3·3·3·3·4·4 = 1296 configurations in the paper). Each configuration is
 //! scored by k-fold cross-validation; the lowest validation MSE wins.
 
-use crate::crossval::cross_validate;
+use crate::crossval::cross_validate_with;
 use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::network::NetworkConfig;
 use crate::optimizer::OptimizerKind;
+use crate::parallel::{default_threads, parallel_map};
 use serde::{Deserialize, Serialize};
 
 /// The search space.
@@ -56,7 +57,7 @@ impl GridSpec {
 
     /// All configurations in the grid, in deterministic order.
     pub fn configurations(&self) -> Vec<NetworkConfig> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.len());
         for &optimizer in &self.optimizers {
             for &loss in &self.losses {
                 for &epochs in &self.epochs {
@@ -111,6 +112,11 @@ pub struct GridPoint {
 /// Evaluates every grid point with `k`-fold cross-validation and returns the
 /// points sorted by ascending MSE (best first).
 ///
+/// Runs on [`default_threads`] workers; use [`grid_search_threaded`] for an
+/// explicit thread count. The result is bit-identical for every thread
+/// count: each configuration's cross-validation derives all of its seeds
+/// from `(seed, iteration, fold)` alone.
+///
 /// # Panics
 ///
 /// Panics if the grid is empty.
@@ -121,20 +127,40 @@ pub fn grid_search(
     k: usize,
     seed: u64,
 ) -> Vec<GridPoint> {
+    grid_search_threaded(x, y, spec, k, seed, default_threads())
+}
+
+/// [`grid_search`] with the grid points fanned out over `threads` workers.
+///
+/// Each worker evaluates whole configurations serially, reusing one
+/// [`crate::Scratch`] training workspace across all configurations it
+/// claims; results land in grid order and are sorted once at the end, so
+/// the output is **bit-identical** to the serial run (pinned by the
+/// determinism suite and a CI smoke run).
+///
+/// # Panics
+///
+/// Panics if the grid is empty or `threads` is zero.
+pub fn grid_search_threaded(
+    x: &Matrix,
+    y: &Matrix,
+    spec: &GridSpec,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<GridPoint> {
     let configs = spec.configurations();
     assert!(!configs.is_empty(), "grid has no configurations");
-    let mut points: Vec<GridPoint> = configs
-        .into_iter()
-        .map(|config| {
-            let report = cross_validate(x, y, &config, k, 1, seed);
-            GridPoint {
-                config,
-                mse: report.mse,
-                mape: report.mape,
-            }
-        })
-        .collect();
-    points.sort_by(|a, b| a.mse.partial_cmp(&b.mse).expect("MSE is never NaN"));
+    let mut points = parallel_map(threads, configs.len(), |i, scratch| {
+        let config = configs[i];
+        let report = cross_validate_with(x, y, &config, k, 1, seed, scratch);
+        GridPoint {
+            config,
+            mse: report.mse,
+            mape: report.mape,
+        }
+    });
+    points.sort_unstable_by(|a, b| a.mse.total_cmp(&b.mse));
     points
 }
 
@@ -188,6 +214,38 @@ mod tests {
         assert_eq!(points.len(), 4);
         for w in points.windows(2) {
             assert!(w[0].mse <= w[1].mse, "not sorted");
+        }
+    }
+
+    /// One worker or four, the ranked grid must come out bit-identical.
+    #[test]
+    fn parallel_grid_search_is_bit_identical_to_serial() {
+        let mut rng = RngStream::from_seed(4, "grid-par");
+        let n = 40;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.uniform(0.1, 1.0);
+            xs.push(a);
+            ys.push(a + 0.3);
+        }
+        let x = Matrix::from_vec(n, 1, xs);
+        let y = Matrix::from_vec(n, 1, ys);
+        let spec = GridSpec {
+            optimizers: vec![OptimizerKind::Adam { lr: 0.005 }, OptimizerKind::Sgd { lr: 0.01 }],
+            losses: vec![Loss::Mse],
+            epochs: vec![15],
+            neurons: vec![4, 8],
+            l2s: vec![0.0],
+            layers: vec![1],
+        };
+        let serial = grid_search_threaded(&x, &y, &spec, 3, 5, 1);
+        let parallel = grid_search_threaded(&x, &y, &spec, 3, 5, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.mse.to_bits(), b.mse.to_bits());
+            assert_eq!(a.mape.to_bits(), b.mape.to_bits());
         }
     }
 }

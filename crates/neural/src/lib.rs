@@ -12,6 +12,10 @@
 //! * [`optimizer`] — SGD, Adam, and Adagrad (the paper's grid).
 //! * [`layer`] / [`network`] — dense layers and the full network with
 //!   mini-batch training, L2 regularization, and deterministic seeding.
+//! * [`scratch`] — the reusable training workspace that makes the
+//!   mini-batch hot path allocation-free.
+//! * [`parallel`] — deterministic multi-threaded fan-out for the search
+//!   loops (bit-identical results for every thread count).
 //! * [`scale`] — feature standardization.
 //! * [`crossval`] — k-fold cross-validation (the paper runs 10×5-fold).
 //! * [`grid`] — hyperparameter grid search (Table 2).
@@ -53,31 +57,36 @@ pub mod loss;
 pub mod matrix;
 pub mod network;
 pub mod optimizer;
+pub mod parallel;
 pub mod pdp;
 pub mod scale;
+pub mod scratch;
 pub mod selection;
 pub mod transfer;
 
 /// Re-exports of the most used items.
 pub mod prelude {
     pub use crate::activation::Activation;
-    pub use crate::crossval::{cross_validate, CrossValReport, KFold};
-    pub use crate::grid::{grid_search, GridPoint, GridSpec};
+    pub use crate::crossval::{cross_validate, cross_validate_threaded, CrossValReport, KFold};
+    pub use crate::grid::{grid_search, grid_search_threaded, GridPoint, GridSpec};
     pub use crate::loss::Loss;
     pub use crate::matrix::Matrix;
     pub use crate::network::{NetworkConfig, NeuralNetwork};
     pub use crate::optimizer::OptimizerKind;
+    pub use crate::parallel::default_threads;
     pub use crate::pdp::partial_dependence;
     pub use crate::scale::StandardScaler;
-    pub use crate::selection::{forward_selection, SelectionResult};
+    pub use crate::scratch::Scratch;
+    pub use crate::selection::{forward_selection, forward_selection_threaded, SelectionResult};
 }
 
 pub use activation::Activation;
-pub use crossval::{cross_validate, CrossValReport, KFold};
-pub use grid::{grid_search, GridPoint, GridSpec};
+pub use crossval::{cross_validate, cross_validate_threaded, CrossValReport, KFold};
+pub use grid::{grid_search, grid_search_threaded, GridPoint, GridSpec};
 pub use loss::Loss;
 pub use matrix::Matrix;
 pub use network::{NetworkConfig, NeuralNetwork};
 pub use optimizer::OptimizerKind;
 pub use scale::StandardScaler;
-pub use selection::{forward_selection, SelectionResult};
+pub use scratch::Scratch;
+pub use selection::{forward_selection, forward_selection_threaded, SelectionResult};

@@ -56,13 +56,25 @@ impl Loss {
     ///
     /// Panics on shape mismatch.
     pub fn gradient(self, y_true: &Matrix, y_pred: &Matrix) -> Matrix {
+        let mut grad = Matrix::zeros(0, 0);
+        self.gradient_into(y_true, y_pred, &mut grad);
+        grad
+    }
+
+    /// The gradient written into a reusable buffer — the allocation-free
+    /// form used by the mini-batch training loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn gradient_into(self, y_true: &Matrix, y_pred: &Matrix, grad: &mut Matrix) {
         assert_eq!(
             (y_true.rows(), y_true.cols()),
             (y_pred.rows(), y_pred.cols()),
             "loss shape mismatch"
         );
         let n = (y_true.rows() * y_true.cols()) as f64;
-        let mut grad = Matrix::zeros(y_true.rows(), y_true.cols());
+        grad.resize_for_overwrite(y_true.rows(), y_true.cols());
         for ((g, t), p) in grad
             .data_mut()
             .iter_mut()
@@ -75,7 +87,6 @@ impl Loss {
                 Loss::Mape => (p - t).signum() / (t.abs().max(MAPE_EPS) * n),
             };
         }
-        grad
     }
 }
 

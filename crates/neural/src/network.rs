@@ -5,6 +5,7 @@ use crate::layer::Dense;
 use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::optimizer::OptimizerKind;
+use crate::scratch::Scratch;
 use serde::{Deserialize, Serialize};
 use sizeless_engine::RngStream;
 
@@ -143,6 +144,21 @@ impl NeuralNetwork {
     ///
     /// Panics on shape mismatch or empty input.
     pub fn fit(&mut self, x: &Matrix, y: &Matrix) {
+        self.fit_with(x, y, &mut Scratch::new());
+    }
+
+    /// Trains on `(x, y)` reusing a caller-owned [`Scratch`] workspace.
+    ///
+    /// Identical to [`NeuralNetwork::fit`] bit-for-bit, but callers that
+    /// train many networks (cross-validation folds, grid-search workers)
+    /// amortize every intermediate buffer across all of them: after the
+    /// first batch at a given shape the training loop performs zero matrix
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or empty input.
+    pub fn fit_with(&mut self, x: &Matrix, y: &Matrix, scratch: &mut Scratch) {
         assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
         assert_eq!(x.cols(), self.input_dim(), "x column count mismatch");
         assert_eq!(y.cols(), self.output_dim(), "y column count mismatch");
@@ -159,26 +175,62 @@ impl NeuralNetwork {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
-                let xb = x.select_rows(chunk);
-                let yb = y.select_rows(chunk);
-                let pred = self.forward_train(&xb);
-                epoch_loss += self.config.loss.value(&yb, &pred);
+                x.select_rows_into(chunk, &mut scratch.xb);
+                y.select_rows_into(chunk, &mut scratch.yb);
+                epoch_loss += self.train_batch(scratch, 0);
                 batches += 1;
-                let mut grad = self.config.loss.gradient(&yb, &pred);
-                for layer in self.layers.iter_mut().rev() {
-                    grad = layer.backward(&grad, self.config.l2);
-                }
             }
             self.epoch_losses.push(epoch_loss / batches.max(1) as f64);
         }
     }
 
-    fn forward_train(&mut self, x: &Matrix) -> Matrix {
-        let mut a = x.clone();
-        for layer in &mut self.layers {
-            a = layer.forward(&a, true);
+    /// One forward + backward pass over the batch staged in
+    /// `scratch.xb`/`scratch.yb`, updating every layer from `frozen`
+    /// upwards. Returns the batch loss. Shared by [`NeuralNetwork::fit`]
+    /// and fine-tuning (`frozen > 0`).
+    pub(crate) fn train_batch(&mut self, scratch: &mut Scratch, frozen: usize) -> f64 {
+        let layer_count = self.layers.len();
+        scratch.ensure_layers(layer_count);
+
+        // Forward: activations for layer l land in scratch.acts[l].
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = scratch.acts.split_at_mut(l);
+            let input: &Matrix = if l == 0 { &scratch.xb } else { &prev[l - 1] };
+            layer.forward_into(input, &mut rest[0]);
         }
-        a
+
+        let pred = &scratch.acts[layer_count - 1];
+        let loss = self.config.loss.value(&scratch.yb, pred);
+        self.config
+            .loss
+            .gradient_into(&scratch.yb, pred, &mut scratch.delta);
+
+        // Backward: δ ping-pongs between the two delta buffers; the
+        // gradient w.r.t. the input of layer `frozen` is never needed.
+        for l in (frozen..layer_count).rev() {
+            let (prev, rest) = scratch.acts.split_at_mut(l);
+            let input: &Matrix = if l == 0 { &scratch.xb } else { &prev[l - 1] };
+            let output = &rest[0];
+            let grad_input = if l > frozen {
+                Some(&mut scratch.delta_next)
+            } else {
+                None
+            };
+            self.layers[l].backward_into(
+                input,
+                output,
+                &mut scratch.delta,
+                grad_input,
+                &mut scratch.d_w,
+                &mut scratch.d_b,
+                &mut scratch.w_t,
+                self.config.l2,
+            );
+            if l > frozen {
+                std::mem::swap(&mut scratch.delta, &mut scratch.delta_next);
+            }
+        }
+        loss
     }
 
     /// Predicts outputs for a batch of inputs.
@@ -188,13 +240,14 @@ impl NeuralNetwork {
     /// Panics if `x.cols()` differs from the input dimension.
     pub fn predict(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.input_dim(), "x column count mismatch");
-        let mut a = x.clone();
-        // Cloning layers to keep `predict(&self)` immutable would be
-        // wasteful; instead run the layers in inference mode on copies of
-        // the activation matrix only.
-        let mut layers = self.layers.clone();
-        for layer in &mut layers {
-            a = layer.forward(&a, false);
+        // Two ping-pong activation buffers; the layers stay untouched (the
+        // old implementation cloned every weight matrix per call).
+        let mut a = Matrix::zeros(0, 0);
+        let mut b = Matrix::zeros(0, 0);
+        self.layers[0].forward_into(x, &mut a);
+        for layer in &self.layers[1..] {
+            layer.forward_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
         }
         a
     }
@@ -212,10 +265,6 @@ impl NeuralNetwork {
 
     pub(crate) fn layers_internal(&self) -> &[Dense] {
         &self.layers
-    }
-
-    pub(crate) fn layers_internal_mut(&mut self) -> &mut [Dense] {
-        &mut self.layers
     }
 }
 

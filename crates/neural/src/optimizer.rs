@@ -12,7 +12,9 @@ pub enum OptimizerKind {
         /// Learning rate.
         lr: f64,
     },
-    /// Adam (Kingma & Ba) with the standard β₁/β₂/ε.
+    /// Adam (Kingma & Ba) with the standard β₁/β₂/ε, in the Keras
+    /// formulation (bias correction folded into the step size, ε outside
+    /// the correction).
     Adam {
         /// Learning rate.
         lr: f64,
@@ -127,21 +129,28 @@ impl OptimizerState {
             } => {
                 assert_eq!(params.len(), m.len(), "state sized for another layer");
                 *t += 1;
+                // Keras folds the bias correction into the step size:
+                // `α_t = lr·√(1−β₂ᵗ)/(1−β₁ᵗ)` once per step, then
+                // `p -= α_t·m/(√v + ε)` per parameter — one sqrt and one
+                // division per parameter instead of three divisions, which
+                // matters because the (vectorized) update is div/sqrt
+                // throughput-bound.
                 let b1t = 1.0 - beta1.powi(*t as i32);
                 let b2t = 1.0 - beta2.powi(*t as i32);
-                for i in 0..params.len() {
-                    m[i] = *beta1 * m[i] + (1.0 - *beta1) * grads[i];
-                    v[i] = *beta2 * v[i] + (1.0 - *beta2) * grads[i] * grads[i];
-                    let m_hat = m[i] / b1t;
-                    let v_hat = v[i] / b2t;
-                    params[i] -= *lr * m_hat / (v_hat.sqrt() + *eps);
+                let alpha = *lr * b2t.sqrt() / b1t;
+                for (((p, &g), m_i), v_i) in
+                    params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+                {
+                    *m_i = *beta1 * *m_i + (1.0 - *beta1) * g;
+                    *v_i = *beta2 * *v_i + (1.0 - *beta2) * g * g;
+                    *p -= alpha * *m_i / (v_i.sqrt() + *eps);
                 }
             }
             OptimizerState::Adagrad { lr, eps, acc } => {
                 assert_eq!(params.len(), acc.len(), "state sized for another layer");
-                for i in 0..params.len() {
-                    acc[i] += grads[i] * grads[i];
-                    params[i] -= *lr * grads[i] / (acc[i].sqrt() + *eps);
+                for ((p, &g), acc_i) in params.iter_mut().zip(grads).zip(acc.iter_mut()) {
+                    *acc_i += g * g;
+                    *p -= *lr * g / (acc_i.sqrt() + *eps);
                 }
             }
         }

@@ -6,9 +6,10 @@
 //! count curve is exactly what Figure 4 plots for the three selection
 //! rounds (F0 → F1, F2 → F3, F3+stats → F4).
 
-use crate::crossval::cross_validate;
+use crate::crossval::cross_validate_with;
 use crate::matrix::Matrix;
 use crate::network::NetworkConfig;
+use crate::parallel::{default_threads, parallel_map};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of a forward-selection run.
@@ -50,6 +51,12 @@ impl SelectionResult {
 /// `x`), scoring subsets with `k`-fold cross-validation, until `max_features`
 /// are selected or candidates run out.
 ///
+/// Candidate scoring within each round fans out over [`default_threads`]
+/// workers; use [`forward_selection_threaded`] for an explicit count. The
+/// selection is bit-identical for every thread count: every candidate's
+/// cross-validation seed depends only on `(seed, round, candidate)`, and
+/// the round winner is reduced in candidate order.
+///
 /// # Panics
 ///
 /// Panics if `candidates` is empty or `max_features` is zero.
@@ -62,6 +69,26 @@ pub fn forward_selection(
     max_features: usize,
     seed: u64,
 ) -> SelectionResult {
+    forward_selection_threaded(x, y, candidates, config, k, max_features, seed, default_threads())
+}
+
+/// [`forward_selection`] with an explicit worker-thread count.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty, `max_features` is zero, or `threads`
+/// is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_selection_threaded(
+    x: &Matrix,
+    y: &Matrix,
+    candidates: &[usize],
+    config: &NetworkConfig,
+    k: usize,
+    max_features: usize,
+    seed: u64,
+    threads: usize,
+) -> SelectionResult {
     assert!(!candidates.is_empty(), "no candidate features");
     assert!(max_features > 0, "must select at least one feature");
 
@@ -70,22 +97,29 @@ pub fn forward_selection(
     let mut mse_curve: Vec<f64> = Vec::new();
 
     while !remaining.is_empty() && selected.len() < max_features {
-        let mut best: Option<(usize, f64)> = None; // (position in remaining, mse)
-        for (pos, &cand) in remaining.iter().enumerate() {
+        let scores = parallel_map(threads, remaining.len(), |pos, scratch| {
+            let cand = remaining[pos];
             let mut cols = selected.clone();
             cols.push(cand);
             let x_sub = x.select_columns(&cols);
-            let report = cross_validate(
+            cross_validate_with(
                 &x_sub,
                 y,
                 config,
                 k,
                 1,
                 seed.wrapping_add(selected.len() as u64 * 1009 + cand as u64),
-            );
+                scratch,
+            )
+            .mse
+        });
+        // Reduce in candidate order with a strict `<`: ties resolve to the
+        // earlier candidate, exactly as the serial loop always did.
+        let mut best: Option<(usize, f64)> = None; // (position in remaining, mse)
+        for (pos, &mse) in scores.iter().enumerate() {
             match best {
-                Some((_, mse)) if report.mse >= mse => {}
-                _ => best = Some((pos, report.mse)),
+                Some((_, best_mse)) if mse >= best_mse => {}
+                _ => best = Some((pos, mse)),
             }
         }
         let (pos, mse) = best.expect("remaining is non-empty");
@@ -170,6 +204,20 @@ mod tests {
         };
         assert_eq!(r.best_subset(), &[4]);
         assert_eq!(r.best_mse(), 0.5);
+    }
+
+    /// Parallel candidate scoring must reproduce the serial selection
+    /// bit-for-bit (same order, same curve).
+    #[test]
+    fn parallel_selection_is_bit_identical_to_serial() {
+        let (x, y) = dataset();
+        let serial = forward_selection_threaded(&x, &y, &[0, 1, 2], &tiny_config(), 3, 3, 1, 1);
+        let parallel =
+            forward_selection_threaded(&x, &y, &[0, 1, 2], &tiny_config(), 3, 3, 1, 4);
+        assert_eq!(serial.order, parallel.order);
+        let serial_bits: Vec<u64> = serial.mse_curve.iter().map(|m| m.to_bits()).collect();
+        let parallel_bits: Vec<u64> = parallel.mse_curve.iter().map(|m| m.to_bits()).collect();
+        assert_eq!(serial_bits, parallel_bits);
     }
 
     #[test]

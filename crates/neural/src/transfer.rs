@@ -8,6 +8,7 @@
 use crate::layer::Dense;
 use crate::matrix::Matrix;
 use crate::network::NeuralNetwork;
+use crate::scratch::Scratch;
 use sizeless_engine::RngStream;
 
 impl NeuralNetwork {
@@ -37,29 +38,16 @@ impl NeuralNetwork {
         let config = *self.config();
         let mut shuffle_rng = RngStream::from_seed(self.seed() ^ 0xF17E, "nn-finetune");
         let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut scratch = Scratch::new();
 
         for _ in 0..epochs {
             shuffle_rng.shuffle(&mut order);
             for chunk in order.chunks(config.batch_size) {
-                let xb = x.select_rows(chunk);
-                let yb = y.select_rows(chunk);
-
-                // Forward through frozen layers in inference mode, then
-                // through trainable layers in training mode.
-                let mut a = xb.clone();
-                {
-                    let (frozen, trainable) = self.layers_split_mut(frozen_layers);
-                    for layer in frozen {
-                        a = layer.forward(&a, false);
-                    }
-                    for layer in trainable.iter_mut() {
-                        a = layer.forward(&a, true);
-                    }
-                    let mut grad = config.loss.gradient(&yb, &a);
-                    for layer in trainable.iter_mut().rev() {
-                        grad = layer.backward(&grad, config.l2);
-                    }
-                }
+                x.select_rows_into(chunk, &mut scratch.xb);
+                y.select_rows_into(chunk, &mut scratch.yb);
+                // Frozen layers participate in the forward pass; the
+                // backward pass stops at the first trainable layer.
+                let _ = self.train_batch(&mut scratch, frozen_layers);
             }
         }
     }
@@ -77,10 +65,6 @@ impl NeuralNetwork {
         // SAFETY-free accessor defined in network.rs via pub(crate) field
         // visibility; forwarded here for the transfer module.
         self.layers_internal()
-    }
-
-    pub(crate) fn layers_split_mut(&mut self, at: usize) -> (&mut [Dense], &mut [Dense]) {
-        self.layers_internal_mut().split_at_mut(at)
     }
 }
 

@@ -161,3 +161,119 @@ fn rng_streams_are_stable_across_runs() {
         db.clone().next_f64().to_bits()
     );
 }
+
+/// The training-layer fan-outs obey the same contract: a grid search (and
+/// the cross-validation underneath it) fanned out over worker threads must
+/// be **bit-identical** to the serial run, because every configuration and
+/// fold derives its RNG streams from `(seed, job)` alone and results pool
+/// in job order. Pinned here at threads ∈ {1, 4}; the `--threads` knob of
+/// the experiment binaries therefore trades wall-clock time only.
+#[test]
+fn parallel_grid_search_is_bit_identical_to_serial() {
+    use sizeless::neural::prelude::*;
+
+    let mut rng = RngStream::from_seed(21, "det-grid-data");
+    let n = 48;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..n {
+        let a = rng.uniform(0.1, 1.0);
+        let b = rng.uniform(0.1, 1.0);
+        xs.extend_from_slice(&[a, b]);
+        ys.push(1.5 * a + 0.5 * b + 0.2);
+    }
+    let x = Matrix::from_vec(n, 2, xs);
+    let y = Matrix::from_vec(n, 1, ys);
+
+    let spec = GridSpec {
+        optimizers: vec![OptimizerKind::Adam { lr: 0.005 }, OptimizerKind::Sgd { lr: 0.01 }],
+        losses: vec![Loss::Mse, Loss::Mape],
+        epochs: vec![12],
+        neurons: vec![6],
+        l2s: vec![0.0, 0.001],
+        layers: vec![1],
+    };
+    let serial = grid_search_threaded(&x, &y, &spec, 3, 17, 1);
+    let threaded = grid_search_threaded(&x, &y, &spec, 3, 17, 4);
+    assert_eq!(serial.len(), threaded.len());
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(a.config, b.config, "rank order diverged across thread counts");
+        assert_eq!(a.mse.to_bits(), b.mse.to_bits(), "MSE bits diverged");
+        assert_eq!(a.mape.to_bits(), b.mape.to_bits(), "MAPE bits diverged");
+    }
+
+    let cv_cfg = NetworkConfig {
+        hidden_layers: 1,
+        neurons: 8,
+        loss: Loss::Mse,
+        l2: 0.0,
+        epochs: 15,
+        batch_size: 16,
+        ..NetworkConfig::default()
+    };
+    let cv_serial = cross_validate_threaded(&x, &y, &cv_cfg, 4, 2, 23, 1);
+    let cv_threaded = cross_validate_threaded(&x, &y, &cv_cfg, 4, 2, 23, 4);
+    assert_eq!(cv_serial.mse.to_bits(), cv_threaded.mse.to_bits());
+    assert_eq!(cv_serial.mape.to_bits(), cv_threaded.mape.to_bits());
+    assert_eq!(cv_serial.r_squared.to_bits(), cv_threaded.r_squared.to_bits());
+    assert_eq!(
+        cv_serial.explained_variance.to_bits(),
+        cv_threaded.explained_variance.to_bits()
+    );
+}
+
+/// Scratch-workspace reuse must never leak state between trainings: a
+/// network fitted with a workspace that already trained a *differently
+/// shaped* network predicts bit-identically to one fitted with a fresh
+/// workspace.
+#[test]
+fn scratch_reuse_across_network_shapes_is_bit_clean() {
+    use sizeless::neural::prelude::*;
+    use sizeless::neural::Scratch;
+
+    let mut rng = RngStream::from_seed(31, "det-scratch-data");
+    let n = 40;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..n {
+        let a = rng.uniform(0.1, 1.0);
+        xs.push(a);
+        ys.push(0.7 * a + 0.1);
+    }
+    let x = Matrix::from_vec(n, 1, xs);
+    let y = Matrix::from_vec(n, 1, ys);
+
+    let big = NetworkConfig {
+        hidden_layers: 3,
+        neurons: 24,
+        loss: Loss::Mse,
+        l2: 0.0,
+        epochs: 10,
+        batch_size: 8,
+        ..NetworkConfig::default()
+    };
+    let small = NetworkConfig {
+        hidden_layers: 1,
+        neurons: 5,
+        ..big
+    };
+
+    // Dirty the workspace with the big shape, then fit the small one.
+    let mut scratch = Scratch::new();
+    let mut warmup = NeuralNetwork::new(1, 1, &big, 1);
+    warmup.fit_with(&x, &y, &mut scratch);
+    let mut reused = NeuralNetwork::new(1, 1, &small, 2);
+    reused.fit_with(&x, &y, &mut scratch);
+
+    let mut fresh = NeuralNetwork::new(1, 1, &small, 2);
+    fresh.fit(&x, &y);
+
+    for (a, b) in reused
+        .predict(&x)
+        .data()
+        .iter()
+        .zip(fresh.predict(&x).data())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "scratch reuse changed training");
+    }
+}

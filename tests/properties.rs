@@ -169,3 +169,149 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a matrix shape plus enough random data to fill it. The data
+/// pool is sized for the largest shape so the dims stay independent draws.
+const DIM_MAX: usize = 12;
+
+fn matrix_from_pool(rows: usize, cols: usize, pool: &[f64]) -> sizeless::neural::Matrix {
+    sizeless::neural::Matrix::from_vec(rows, cols, pool[..rows * cols].to_vec())
+}
+
+/// The textbook triple loop — the bit-exactness reference the fused
+/// kernels promise to reproduce (single ascending-k accumulator chain
+/// per output element).
+fn reference_matmul(
+    a: &sizeless::neural::Matrix,
+    b: &sizeless::neural::Matrix,
+) -> sizeless::neural::Matrix {
+    let mut out = sizeless::neural::Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut sum = 0.0;
+            for k in 0..a.cols() {
+                sum = a.get(i, k).mul_add(b.get(k, j), sum);
+            }
+            out.set(i, j, sum);
+        }
+    }
+    out
+}
+
+fn assert_bits_eq(a: &sizeless::neural::Matrix, b: &sizeless::neural::Matrix) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{x} != {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul_into` (register-tiled) is bit-identical to the naive
+    /// triple loop over random shapes, including tile-remainder edges.
+    #[test]
+    fn matmul_into_matches_naive_reference(
+        m in 1usize..DIM_MAX,
+        n in 1usize..DIM_MAX,
+        p in 1usize..DIM_MAX,
+        a_pool in proptest::collection::vec(-100.0f64..100.0, DIM_MAX * DIM_MAX),
+        b_pool in proptest::collection::vec(-100.0f64..100.0, DIM_MAX * DIM_MAX),
+    ) {
+        use sizeless::neural::Matrix;
+        let a = matrix_from_pool(m, n, &a_pool);
+        let b = matrix_from_pool(n, p, &b_pool);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_bits_eq(&out, &reference_matmul(&a, &b));
+        // The allocating wrapper takes the same kernel path.
+        assert_bits_eq(&a.matmul(&b), &reference_matmul(&a, &b));
+    }
+
+    /// `Aᵀ·B` without materializing the transpose is bit-identical to
+    /// materializing it and multiplying naively.
+    #[test]
+    fn matmul_transpose_a_into_matches_naive_reference(
+        m in 1usize..DIM_MAX,
+        n in 1usize..DIM_MAX,
+        p in 1usize..DIM_MAX,
+        a_pool in proptest::collection::vec(-100.0f64..100.0, DIM_MAX * DIM_MAX),
+        b_pool in proptest::collection::vec(-100.0f64..100.0, DIM_MAX * DIM_MAX),
+    ) {
+        use sizeless::neural::Matrix;
+        let a = matrix_from_pool(m, n, &a_pool); // used as Aᵀ: (n×m)·(m×p)
+        let b = matrix_from_pool(m, p, &b_pool);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transpose_a_into(&b, &mut out);
+        assert_bits_eq(&out, &reference_matmul(&a.transpose(), &b));
+    }
+
+    /// `A·Bᵀ` without materializing the transpose is bit-identical to
+    /// materializing it and multiplying naively.
+    #[test]
+    fn matmul_transpose_b_into_matches_naive_reference(
+        m in 1usize..DIM_MAX,
+        n in 1usize..DIM_MAX,
+        p in 1usize..DIM_MAX,
+        a_pool in proptest::collection::vec(-100.0f64..100.0, DIM_MAX * DIM_MAX),
+        b_pool in proptest::collection::vec(-100.0f64..100.0, DIM_MAX * DIM_MAX),
+    ) {
+        use sizeless::neural::Matrix;
+        let a = matrix_from_pool(m, n, &a_pool);
+        let b = matrix_from_pool(p, n, &b_pool); // used as Bᵀ
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transpose_b_into(&b, &mut out);
+        assert_bits_eq(&out, &reference_matmul(&a, &b.transpose()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel grid search and cross-validation reproduce the serial
+    /// result bit-for-bit over random seeds and datasets.
+    #[test]
+    fn parallel_search_is_bit_identical_over_random_seeds(seed in 0u64..1000) {
+        use sizeless::neural::prelude::*;
+        let mut rng = RngStream::from_seed(seed, "prop-par-grid");
+        let n = 36;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.uniform(0.1, 1.0);
+            xs.push(a);
+            ys.push(2.0 * a + 0.1);
+        }
+        let x = Matrix::from_vec(n, 1, xs);
+        let y = Matrix::from_vec(n, 1, ys);
+        let spec = GridSpec {
+            optimizers: vec![OptimizerKind::Adam { lr: 0.005 }],
+            losses: vec![Loss::Mse],
+            epochs: vec![8],
+            neurons: vec![4, 8],
+            l2s: vec![0.0],
+            layers: vec![1],
+        };
+        let serial = grid_search_threaded(&x, &y, &spec, 3, seed, 1);
+        let parallel = grid_search_threaded(&x, &y, &spec, 3, seed, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a.config, b.config);
+            prop_assert_eq!(a.mse.to_bits(), b.mse.to_bits());
+            prop_assert_eq!(a.mape.to_bits(), b.mape.to_bits());
+        }
+
+        let cfg = NetworkConfig {
+            hidden_layers: 1,
+            neurons: 6,
+            loss: Loss::Mse,
+            l2: 0.0,
+            epochs: 10,
+            batch_size: 8,
+            ..NetworkConfig::default()
+        };
+        let cv_serial = cross_validate_threaded(&x, &y, &cfg, 3, 2, seed, 1);
+        let cv_parallel = cross_validate_threaded(&x, &y, &cfg, 3, 2, seed, 3);
+        prop_assert_eq!(cv_serial.mse.to_bits(), cv_parallel.mse.to_bits());
+        prop_assert_eq!(cv_serial.mape.to_bits(), cv_parallel.mape.to_bits());
+    }
+}
