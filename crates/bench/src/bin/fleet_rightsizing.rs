@@ -1,0 +1,308 @@
+//! **Extension experiment** — closing the paper's loop at fleet scale.
+//!
+//! The paper's Figure-2 design is an offline training phase plus an online
+//! recommendation phase. This binary runs the whole loop *inside* the
+//! cluster simulator: an offline-trained [`TrainedSizer`] is embedded as an
+//! online [`SizingService`] in a fleet whose functions are all deployed at
+//! the paper's recommended 256 MB base size, and the fleet applies the
+//! service's resize directives at runtime (old-size warm instances drain,
+//! new cold starts pay the new size's scaling laws and pricing).
+//!
+//! Static base-size fleets and closed-loop right-sized fleets run on
+//! identical arrival streams (same seeds, same named RNG streams), across
+//! both arrival models (Poisson and bursty MMPP) and several seeds. The
+//! run aborts (non-zero exit) unless, at the paper-default tradeoff
+//! t = 0.75:
+//!
+//! * goodput is equal or better per run: the closed-loop fleet completes at
+//!   least as many requests as the static fleet, with no additional
+//!   throttling;
+//! * the closed-loop fleet beats the static fleet on **GB·s per completed
+//!   request** (execution memory-time per completion), seed-averaged, on
+//!   both arrival models.
+//!
+//! Results are bit-identical for every `--threads` value — CI byte-compares
+//! a serial and a parallel run of this binary.
+
+use serde::Serialize;
+use sizeless_bench::{pct, print_table, ExperimentContext};
+use sizeless_core::service::{ServiceConfig, SizingService};
+use sizeless_core::trainer::{Trainer, TrainerConfig};
+use sizeless_fleet::{
+    run_fleet, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction, FleetReport,
+    KeepAliveKind, SchedulerKind,
+};
+use sizeless_platform::{
+    FunctionConfig, MemorySize, Platform, ResourceProfile, ServiceCall, ServiceKind, Stage,
+};
+use sizeless_workload::{ArrivalProcess, BurstyArrival};
+
+/// The base size every function is deployed at (the paper's Table-3
+/// recommendation, and the size the model consumes monitoring data from).
+const BASE: MemorySize = MemorySize::MB_256;
+
+/// A bursty process with long-run mean `rps`: a quiet base state (a third
+/// of the mean rate) interrupted by ~2 s bursts at 11× the base rate.
+fn bursty_with_mean(rps: f64) -> BurstyArrival {
+    let base = rps / 3.0;
+    let burst = 5.0 * rps - 4.0 * base;
+    BurstyArrival::new(base, burst, 8_000.0, 2_000.0)
+}
+
+/// The fleet's multi-tenant workload, all deployed at the 256 MB base: a
+/// majority of service-call-dominated glue functions — the paper's
+/// `API-Call` shape, whose server-side latency is memory-independent, so
+/// their execution time is memory-flat and right-sizing sends them *down*
+/// — plus CPU-heavy workers (right-sizing sends them *up* for latency at
+/// roughly flat GB·s).
+fn functions(bursty: bool) -> Vec<FleetFunction> {
+    let mk = |profile: ResourceProfile, rps: f64| {
+        let arrival = if bursty {
+            FleetArrival::Bursty(bursty_with_mean(rps))
+        } else {
+            FleetArrival::Steady(ArrivalProcess::poisson(rps))
+        };
+        FleetFunction::new(FunctionConfig::new(profile, BASE), arrival)
+    };
+    vec![
+        mk(
+            ResourceProfile::builder("gateway")
+                .stage(
+                    Stage::service("lookup", ServiceCall::new(ServiceKind::DynamoDb, 3, 8.0))
+                        .with_cpu(3.0, 1.0),
+                )
+                .init_cpu_ms(120.0)
+                .package_size_mb(12.0)
+                .build(),
+            12.0,
+        ),
+        mk(
+            ResourceProfile::builder("webhook")
+                .stage(
+                    Stage::service("call", ServiceCall::new(ServiceKind::ExternalApi, 1, 4.0))
+                        .with_cpu(2.0, 1.0),
+                )
+                .init_cpu_ms(100.0)
+                .package_size_mb(8.0)
+                .build(),
+            8.0,
+        ),
+        mk(
+            ResourceProfile::builder("audit-log")
+                .stage(
+                    Stage::service("enqueue", ServiceCall::new(ServiceKind::Sqs, 2, 2.0))
+                        .with_cpu(2.0, 1.0),
+                )
+                .stage(Stage::file_io("append", 0.0, 24.0))
+                .init_cpu_ms(90.0)
+                .package_size_mb(8.0)
+                .build(),
+            6.0,
+        ),
+        mk(
+            ResourceProfile::builder("render")
+                .stage(Stage::cpu("render", 90.0).with_working_set(30.0))
+                .init_cpu_ms(200.0)
+                .package_size_mb(25.0)
+                .build(),
+            3.0,
+        ),
+        mk(
+            ResourceProfile::builder("etl")
+                .stage(Stage::cpu("transform", 45.0))
+                .stage(Stage::file_io("write", 256.0, 64.0))
+                .init_cpu_ms(140.0)
+                .package_size_mb(15.0)
+                .build(),
+            4.0,
+        ),
+    ]
+}
+
+#[derive(Serialize)]
+struct RunResult {
+    workload: String,
+    seed: u64,
+    /// GB·s of execution memory-time per completed request.
+    static_gb_s_per_req: f64,
+    rightsized_gb_s_per_req: f64,
+    static_completed: usize,
+    rightsized_completed: usize,
+    static_throttled: usize,
+    rightsized_throttled: usize,
+    static_mean_latency_ms: f64,
+    rightsized_mean_latency_ms: f64,
+    resizes_applied: usize,
+    recommendations: usize,
+    drift_reverts: usize,
+    drained_instances: usize,
+    /// The full reports, persisted so any metric is recoverable offline.
+    static_report: FleetReport,
+    rightsized_report: FleetReport,
+}
+
+const MB_MS_TO_GB_S: f64 = 1.0 / (1024.0 * 1000.0);
+
+fn gb_s_per_completion(r: &FleetReport) -> f64 {
+    if r.counters.completed == 0 {
+        return 0.0;
+    }
+    r.counters.exec_mb_ms * MB_MS_TO_GB_S / r.counters.completed as f64
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let platform = Platform::aws_like();
+    // Same floor rationale as the policy sweep: the bursty cycle is 10 s
+    // and the service needs several full windows per function.
+    let duration_ms = (600_000.0 / ctx.scale).max(60_000.0);
+    let seeds: Vec<u64> = (0..3).map(|i| ctx.seed.wrapping_add(i)).collect();
+
+    // Offline phase: one artifact, shared by every closed-loop run. The
+    // closed-loop criterion rides on artifact quality, so the offline
+    // dataset and epochs are floored higher than the shared `--scale`
+    // defaults: below ~400 training functions the model keeps the CPU-bound
+    // prior "128 MB is ~2x slower than 256 MB" for service-call-dominated
+    // (memory-flat) functions and never recommends downsizing.
+    let mut dataset_cfg = ctx.dataset_config();
+    dataset_cfg.function_count = dataset_cfg.function_count.max(400);
+    let mut network_cfg = ctx.network_config();
+    network_cfg.epochs = network_cfg.epochs.max(120);
+    let dataset = ctx.dataset_with(&platform, &dataset_cfg);
+    let trainer = Trainer::new(TrainerConfig {
+        dataset: dataset_cfg,
+        network: network_cfg,
+        base_size: BASE,
+        seed: ctx.seed,
+        ..TrainerConfig::default()
+    });
+    eprintln!("[train] offline phase: base {BASE}, t = 0.75 ...");
+    let sizer = trainer
+        .train_from_dataset(&platform, &dataset)
+        .expect("dataset large enough");
+
+    let service_cfg = ServiceConfig::default();
+    let mut rows: Vec<RunResult> = Vec::new();
+    for (bursty, workload) in [(false, "poisson"), (true, "bursty")] {
+        for &seed in &seeds {
+            let config = FleetConfig::new(8, 8192.0, duration_ms, seed);
+            let fns = functions(bursty);
+            let static_report = run_fleet(
+                &platform,
+                &config,
+                &fns,
+                SchedulerKind::WarmFirst,
+                KeepAliveKind::Adaptive,
+            );
+            let rightsized_report = run_rightsized_fleet(
+                &platform,
+                &config,
+                &fns,
+                SchedulerKind::WarmFirst,
+                KeepAliveKind::Adaptive,
+                SizingService::new(sizer.clone(), service_cfg),
+            );
+            let rs = rightsized_report
+                .rightsizing
+                .as_ref()
+                .expect("closed-loop run reports rightsizing");
+            rows.push(RunResult {
+                workload: workload.to_string(),
+                seed,
+                static_gb_s_per_req: gb_s_per_completion(&static_report),
+                rightsized_gb_s_per_req: gb_s_per_completion(&rightsized_report),
+                static_completed: static_report.counters.completed,
+                rightsized_completed: rightsized_report.counters.completed,
+                static_throttled: static_report.counters.throttled(),
+                rightsized_throttled: rightsized_report.counters.throttled(),
+                static_mean_latency_ms: static_report.metrics.mean_latency_ms,
+                rightsized_mean_latency_ms: rightsized_report.metrics.mean_latency_ms,
+                resizes_applied: rs.counters.resizes_applied,
+                recommendations: rs.service.recommendations,
+                drift_reverts: rs.counters.drift_reverts,
+                drained_instances: rs.drained_instances,
+                static_report,
+                rightsized_report,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.seed.to_string(),
+                format!("{:.4}", r.static_gb_s_per_req),
+                format!("{:.4}", r.rightsized_gb_s_per_req),
+                pct(1.0 - r.rightsized_gb_s_per_req / r.static_gb_s_per_req),
+                format!("{}", r.static_completed),
+                format!("{}", r.rightsized_completed),
+                format!("{:.0}", r.static_mean_latency_ms),
+                format!("{:.0}", r.rightsized_mean_latency_ms),
+                format!("{}", r.resizes_applied),
+                format!("{}", r.drift_reverts),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Closed-loop right-sizing vs static {BASE} fleet: 8 hosts x 8 GB, {:.0} s, t = 0.75",
+            duration_ms / 1000.0
+        ),
+        &[
+            "Workload",
+            "Seed",
+            "GB·s/req static",
+            "GB·s/req loop",
+            "Saved",
+            "Done static",
+            "Done loop",
+            "Lat static",
+            "Lat loop",
+            "Resizes",
+            "Reverts",
+        ],
+        &table,
+    );
+
+    // Qualitative checks — the closed-loop criterion.
+    println!("\nQualitative checks (paper-default tradeoff t = 0.75):");
+    for r in &rows {
+        assert!(
+            r.rightsized_completed >= r.static_completed
+                && r.rightsized_throttled <= r.static_throttled,
+            "goodput regressed ({} seed {}): completed {} -> {}, throttled {} -> {}",
+            r.workload,
+            r.seed,
+            r.static_completed,
+            r.rightsized_completed,
+            r.static_throttled,
+            r.rightsized_throttled
+        );
+        assert!(
+            r.resizes_applied > 0,
+            "the loop never resized anything ({} seed {})",
+            r.workload,
+            r.seed
+        );
+    }
+    for workload in ["poisson", "bursty"] {
+        let sel: Vec<&RunResult> = rows.iter().filter(|r| r.workload == workload).collect();
+        let avg = |f: &dyn Fn(&RunResult) -> f64| {
+            sel.iter().map(|r| f(r)).sum::<f64>() / sel.len() as f64
+        };
+        let st = avg(&|r| r.static_gb_s_per_req);
+        let rs = avg(&|r| r.rightsized_gb_s_per_req);
+        println!(
+            "  {workload}: GB·s per completed request {st:.4} (static) -> {rs:.4} (closed loop), {} saved at equal-or-better goodput",
+            pct(1.0 - rs / st)
+        );
+        assert!(
+            rs < st,
+            "closed loop must beat the static base-size fleet on GB·s/request ({workload}: {rs:.4} vs {st:.4})"
+        );
+    }
+
+    ctx.write_json("fleet_rightsizing.json", &rows);
+}

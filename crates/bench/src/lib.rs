@@ -40,47 +40,112 @@ pub struct ExperimentContext {
     pub threads: usize,
 }
 
+/// The `--help` text shared by every experiment binary.
+pub const USAGE: &str = "\
+Shared experiment flags:
+  --seed <u64>       master seed for all random streams        (default 0)
+  --scale <f64>      >= 1; divides dataset sizes, durations,
+                     and epochs for quick runs; 1 = paper scale (default 5)
+  --out <dir>        directory JSON results are written to     (default results/)
+  --threads <usize>  worker threads for measurement/training
+                     fan-outs; results are bit-identical for
+                     every thread count                         (default: SIZELESS_THREADS
+                                                                or all cores)
+  --help, -h         print this help and exit";
+
+/// How argument parsing ended when it did not produce a context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--help`/`-h` was requested.
+    Help,
+    /// An argument was unknown or malformed.
+    Invalid(String),
+}
+
 impl ExperimentContext {
-    /// Parses `--seed`, `--scale`, and `--out` from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed arguments (these are developer tools).
+    /// Parses `--seed`, `--scale`, `--out`, and `--threads` from
+    /// `std::env::args`. Unknown or malformed flags print a clear error
+    /// plus the shared [`USAGE`] text and exit non-zero; `--help` prints
+    /// the usage and exits zero.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(ctx) => ctx,
+            Err(ArgsError::Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(ArgsError::Invalid(msg)) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`ExperimentContext::from_args`] over an explicit argument list
+    /// (without the program name) — the testable core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Help`] when help was requested and
+    /// [`ArgsError::Invalid`] for unknown flags, missing values, or values
+    /// that fail to parse or validate.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, ArgsError> {
         let mut ctx = ExperimentContext {
             seed: 0,
             scale: 5.0,
             out_dir: PathBuf::from("results"),
             threads: 0,
         };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            if flag == "--help" || flag == "-h" {
+                return Err(ArgsError::Help);
+            }
+            let mut value = |flag: &str| {
+                args.next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| ArgsError::Invalid(format!("`{flag}` is missing its value")))
+            };
+            match flag.as_str() {
                 "--seed" => {
-                    ctx.seed = args[i + 1].parse().expect("--seed takes a u64");
-                    i += 2;
+                    let v = value("--seed")?;
+                    ctx.seed = v.parse().map_err(|_| {
+                        ArgsError::Invalid(format!("`--seed` takes a u64, got `{v}`"))
+                    })?;
                 }
                 "--scale" => {
-                    ctx.scale = args[i + 1].parse().expect("--scale takes a float >= 1");
-                    assert!(ctx.scale >= 1.0, "--scale must be >= 1");
-                    i += 2;
+                    let v = value("--scale")?;
+                    ctx.scale = v.parse().map_err(|_| {
+                        ArgsError::Invalid(format!("`--scale` takes a float, got `{v}`"))
+                    })?;
+                    if ctx.scale.is_nan() || ctx.scale < 1.0 {
+                        return Err(ArgsError::Invalid(format!(
+                            "`--scale` must be >= 1, got `{v}`"
+                        )));
+                    }
                 }
                 "--out" => {
-                    ctx.out_dir = PathBuf::from(&args[i + 1]);
-                    i += 2;
+                    ctx.out_dir = PathBuf::from(value("--out")?);
                 }
                 "--threads" => {
-                    ctx.threads = args[i + 1].parse().expect("--threads takes a usize >= 1");
-                    assert!(ctx.threads >= 1, "--threads must be >= 1");
-                    i += 2;
+                    let v = value("--threads")?;
+                    ctx.threads = v.parse().map_err(|_| {
+                        ArgsError::Invalid(format!("`--threads` takes a usize >= 1, got `{v}`"))
+                    })?;
+                    if ctx.threads == 0 {
+                        return Err(ArgsError::Invalid(
+                            "`--threads` must be >= 1 (omit the flag for auto)".to_string(),
+                        ));
+                    }
                 }
                 other => {
-                    panic!("unknown argument `{other}` (expected --seed/--scale/--out/--threads)")
+                    return Err(ArgsError::Invalid(format!(
+                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads)"
+                    )));
                 }
             }
         }
-        ctx
+        Ok(ctx)
     }
 
     /// The effective worker-thread count: `--threads` if given, otherwise
@@ -126,7 +191,14 @@ impl ExperimentContext {
     /// generates and caches it. All experiment binaries share this cache so
     /// the expensive offline phase runs once.
     pub fn dataset(&self, platform: &Platform) -> TrainingDataset {
-        let cfg = self.dataset_config();
+        self.dataset_with(platform, &self.dataset_config())
+    }
+
+    /// [`ExperimentContext::dataset`] for an explicit configuration — for
+    /// binaries that need a different dataset shape (e.g. a larger floor)
+    /// while sharing the cache-by-shape mechanism.
+    pub fn dataset_with(&self, platform: &Platform, cfg: &DatasetConfig) -> TrainingDataset {
+        let cfg = *cfg;
         let cache = self.out_dir.join(format!(
             "dataset-n{}-d{}-seed{}.json",
             cfg.function_count, cfg.experiment.duration_ms as u64, self.seed
@@ -297,5 +369,58 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.397), "39.7%");
+    }
+
+    fn parse(args: &[&str]) -> Result<ExperimentContext, ArgsError> {
+        ExperimentContext::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_accepts_all_shared_flags() {
+        let ctx = parse(&[
+            "--seed", "7", "--scale", "2.5", "--out", "/tmp/x", "--threads", "3",
+        ])
+        .unwrap();
+        assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.scale, 2.5);
+        assert_eq!(ctx.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(ctx.threads, 3);
+    }
+
+    #[test]
+    fn parse_defaults_when_no_flags() {
+        let ctx = parse(&[]).unwrap();
+        assert_eq!(ctx.seed, 0);
+        assert_eq!(ctx.scale, 5.0);
+        assert_eq!(ctx.out_dir, PathBuf::from("results"));
+        assert_eq!(ctx.threads, 0);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_with_a_clear_error() {
+        let err = parse(&["--sede", "7"]).unwrap_err();
+        match err {
+            ArgsError::Invalid(msg) => assert!(msg.contains("unknown argument `--sede`"), "{msg}"),
+            ArgsError::Help => panic!("not a help request"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_malformed_values() {
+        assert!(matches!(parse(&["--seed"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--seed", "x"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--scale", "0.5"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--scale", "nan"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--threads", "0"]), Err(ArgsError::Invalid(_))));
+        // A following flag must not be swallowed as the value.
+        assert!(matches!(parse(&["--out", "--seed"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--seed", "--scale", "2"]), Err(ArgsError::Invalid(_))));
+    }
+
+    #[test]
+    fn parse_help_short_and_long() {
+        assert!(matches!(parse(&["--help"]), Err(ArgsError::Help)));
+        assert!(matches!(parse(&["-h"]), Err(ArgsError::Help)));
+        assert!(USAGE.contains("--seed") && USAGE.contains("--threads"));
     }
 }

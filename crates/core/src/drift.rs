@@ -70,9 +70,14 @@ pub fn detect_drift(
     cfg: &DriftConfig,
 ) -> DriftReport {
     let mut drifted = Vec::new();
+    // Two series buffers reused across the watched metrics: the online
+    // sizing service runs this check once per tumbling window per function,
+    // so per-metric allocations would add up at fleet rates.
+    let mut old = Vec::new();
+    let mut new = Vec::new();
     for &metric in metrics {
-        let old = reference.series(metric);
-        let new = fresh.series(metric);
+        reference.series_into(metric, &mut old);
+        fresh.series_into(metric, &mut new);
         if old.is_empty() || new.is_empty() {
             continue;
         }

@@ -16,7 +16,13 @@
 //!    all sizes and [`optimizer`] applies the cost/performance tradeoff
 //!    (Section 3.5) to recommend a size.
 //!
-//! [`pipeline`] packages both phases behind one façade.
+//! The two phases are first-class objects: [`trainer`] runs the offline
+//! phase and produces a serializable [`TrainedSizer`] artifact; [`service`]
+//! is the *online* loop — a [`SizingService`] that ingests per-invocation
+//! telemetry incrementally, aggregates streaming windows (bit-identical to
+//! the batch aggregation), caches recommendations, and uses [`drift`] to
+//! decide when a function must be re-recommended. [`pipeline`] keeps the
+//! original one-shot batch façade on top of the split.
 //!
 //! # Examples
 //!
@@ -46,6 +52,8 @@ pub mod model;
 pub mod optimizer;
 pub mod pipeline;
 pub mod report;
+pub mod service;
+pub mod trainer;
 
 pub use baselines::{BaselineOutcome, CoseOptimizer, PowerTuning};
 pub use dataset::{DatasetConfig, FunctionRecord, TrainingDataset};
@@ -56,5 +64,10 @@ pub use features::{FeatureDef, FeatureKind, FeatureSet};
 pub use interpolate::{optimize_full_grid, TimeInterpolant};
 pub use model::{PredictedTimes, SizelessModel};
 pub use optimizer::{MemoryOptimizer, OptimizationOutcome, Tradeoff};
-pub use pipeline::{PipelineConfig, Recommendation, SizelessPipeline};
+pub use pipeline::{PipelineConfig, SizelessPipeline};
 pub use report::render_report;
+pub use service::{
+    DirectiveReason, FnPhase, Recommendation, ServiceConfig, ServiceStats, SizingDirective,
+    SizingService,
+};
+pub use trainer::{TrainedSizer, Trainer, TrainerConfig};

@@ -61,7 +61,11 @@ pub fn target_sizes(base: MemorySize) -> Vec<MemorySize> {
 }
 
 /// A trained Sizeless performance model for one base memory size.
-#[derive(Debug, Clone)]
+///
+/// Serializable (weights, scaler, optimizer state and all) so trained
+/// models can ship as artifacts — see
+/// [`TrainedSizer`](crate::trainer::TrainedSizer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SizelessModel {
     base: MemorySize,
     feature_set: FeatureSet,

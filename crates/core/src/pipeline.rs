@@ -1,68 +1,32 @@
-//! The end-to-end Sizeless pipeline: offline training + online
-//! recommendation (the paper's Figure 2).
+//! The end-to-end Sizeless pipeline façade (the paper's Figure 2).
+//!
+//! The pipeline is split into its two halves — the offline
+//! [`Trainer`](crate::trainer::Trainer) producing a serializable
+//! [`TrainedSizer`](crate::trainer::TrainedSizer) artifact, and the online
+//! [`SizingService`](crate::service::SizingService) that streams telemetry
+//! against it. This module keeps the original one-shot batch API on top of
+//! that split: [`SizelessPipeline`] trains an artifact and answers
+//! [`SizelessPipeline::recommend`] synchronously, which is exactly what the
+//! table/figure experiment binaries need.
+//!
+//! The pre-split names remain importable from here: [`PipelineConfig`] is
+//! the trainer configuration, [`Recommendation`] the online decision.
 
-use crate::dataset::{DatasetConfig, TrainingDataset};
+use crate::dataset::TrainingDataset;
 use crate::error::CoreError;
-use crate::features::FeatureSet;
-use crate::model::{PredictedTimes, SizelessModel};
-use crate::optimizer::{MemoryOptimizer, OptimizationOutcome, Tradeoff};
-use serde::{Deserialize, Serialize};
-use sizeless_neural::NetworkConfig;
-use sizeless_platform::{MemorySize, Platform};
+use crate::model::SizelessModel;
+use crate::optimizer::MemoryOptimizer;
+use crate::trainer::{TrainedSizer, Trainer};
+use sizeless_platform::Platform;
 use sizeless_telemetry::MetricVector;
 
-/// Configuration of the full pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PipelineConfig {
-    /// Offline dataset generation.
-    pub dataset: DatasetConfig,
-    /// Network hyperparameters (defaults: the paper's Table 2 selection).
-    pub network: NetworkConfig,
-    /// Feature set (defaults to the final F4).
-    pub feature_set: FeatureSet,
-    /// Base memory size monitored in production (the paper recommends
-    /// 256 MB, Table 3).
-    pub base_size: MemorySize,
-    /// Cost/performance tradeoff (the paper recommends t = 0.75).
-    pub tradeoff: Tradeoff,
-    /// Training seed.
-    pub seed: u64,
-}
+pub use crate::service::Recommendation;
+pub use crate::trainer::TrainerConfig as PipelineConfig;
 
-impl Default for PipelineConfig {
-    fn default() -> Self {
-        PipelineConfig {
-            dataset: DatasetConfig::paper(),
-            network: NetworkConfig::default(),
-            feature_set: FeatureSet::F4,
-            base_size: MemorySize::MB_256,
-            tradeoff: Tradeoff::COST_LEANING,
-            seed: 0,
-        }
-    }
-}
-
-/// A memory-size recommendation for one monitored function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Recommendation {
-    /// Predicted execution times at every size.
-    pub predicted: PredictedTimes,
-    /// The optimizer's scoring and decision.
-    pub outcome: OptimizationOutcome,
-}
-
-impl Recommendation {
-    /// The recommended memory size.
-    pub fn memory_size(&self) -> MemorySize {
-        self.outcome.chosen
-    }
-}
-
-/// The trained pipeline: model + optimizer.
+/// The trained batch pipeline: artifact + the dataset it came from.
 #[derive(Debug, Clone)]
 pub struct SizelessPipeline {
-    model: SizelessModel,
-    optimizer: MemoryOptimizer,
+    sizer: TrainedSizer,
     dataset: TrainingDataset,
 }
 
@@ -99,28 +63,29 @@ impl SizelessPipeline {
         dataset: TrainingDataset,
         cfg: &PipelineConfig,
     ) -> Result<Self, CoreError> {
-        let model = SizelessModel::train(
-            &dataset,
-            cfg.base_size,
-            cfg.feature_set,
-            &cfg.network,
-            cfg.seed,
-        )?;
-        Ok(SizelessPipeline {
-            model,
-            optimizer: MemoryOptimizer::new(*platform.pricing(), cfg.tradeoff),
-            dataset,
-        })
+        let sizer = Trainer::new(*cfg).train_from_dataset(platform, &dataset)?;
+        Ok(SizelessPipeline { sizer, dataset })
+    }
+
+    /// The trained artifact (model + optimizer) — hand this to a
+    /// [`SizingService`](crate::service::SizingService) to go online.
+    pub fn sizer(&self) -> &TrainedSizer {
+        &self.sizer
+    }
+
+    /// Consumes the pipeline, keeping only the artifact.
+    pub fn into_sizer(self) -> TrainedSizer {
+        self.sizer
     }
 
     /// The trained model.
     pub fn model(&self) -> &SizelessModel {
-        &self.model
+        self.sizer.model()
     }
 
     /// The optimizer.
     pub fn optimizer(&self) -> &MemoryOptimizer {
-        &self.optimizer
+        self.sizer.optimizer()
     }
 
     /// The training dataset (for inspection or persistence).
@@ -128,18 +93,20 @@ impl SizelessPipeline {
         &self.dataset
     }
 
-    /// The online phase: production monitoring data for the base size in,
-    /// memory-size recommendation out.
+    /// The online phase, batch-style: production monitoring data for the
+    /// base size in, memory-size recommendation out.
     pub fn recommend(&self, metrics: &MetricVector) -> Recommendation {
-        let predicted = self.model.predict(metrics);
-        let outcome = self.optimizer.optimize(&predicted);
-        Recommendation { predicted, outcome }
+        self.sizer.recommend(metrics)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::features::FeatureSet;
+    use sizeless_neural::NetworkConfig;
+    use sizeless_platform::MemorySize;
     use sizeless_workload::{run_experiment, ExperimentConfig};
 
     fn quick_cfg() -> PipelineConfig {
@@ -180,6 +147,8 @@ mod tests {
         assert!(rec.memory_size() >= MemorySize::MB_256, "{}", rec.memory_size());
         assert_eq!(rec.predicted.base(), MemorySize::MB_256);
         assert_eq!(rec.outcome.scores.len(), 6);
+        // The façade's answer is the artifact's answer.
+        assert_eq!(rec, pipeline.sizer().recommend(&m.metrics));
     }
 
     #[test]
@@ -188,6 +157,7 @@ mod tests {
         assert_eq!(pipeline.model().base(), MemorySize::MB_256);
         assert_eq!(pipeline.dataset().len(), 30);
         assert_eq!(pipeline.optimizer().tradeoff().value(), 0.75);
+        assert_eq!(pipeline.sizer().base(), MemorySize::MB_256);
     }
 
     #[test]

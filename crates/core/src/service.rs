@@ -1,0 +1,492 @@
+//! The online half of the Figure-2 loop: a streaming right-sizing service.
+//!
+//! The batch pipeline answers one question once: "given this monitoring
+//! window, which memory size?". Production middleware needs the *loop*: a
+//! service that ingests per-invocation telemetry as it happens, keeps a
+//! bounded window per function, recommends when it has seen enough, and
+//! notices — via [`detect_drift`] — when the workload has shifted enough
+//! that the cached recommendation is stale.
+//!
+//! [`SizingService`] is that loop as a per-function state machine:
+//!
+//! ```text
+//!           window full → recommend
+//! Measuring ───────────────────────→ Referencing ──window full──→ Watching
+//!   (at the model's base size)        (at the new size)         (drift checks)
+//!      ↑                                                             │
+//!      └──────────── drift detected → revert to base ────────────────┘
+//! ```
+//!
+//! * **Measuring** — the function runs at the model's *base* size (the only
+//!   size the paper's model consumes monitoring data from); a full window
+//!   is aggregated — via the streaming [`StreamingWindow`], bit-identical
+//!   to the batch aggregation — and fed to the [`TrainedSizer`]. The
+//!   recommendation is cached and, if it differs from the base, a resize
+//!   [`SizingDirective`] is emitted.
+//! * **Referencing** — after a resize the function's metrics legitimately
+//!   change (execution time scales with memory), so the first full window
+//!   *at the new size* becomes the drift reference; comparing it against
+//!   the pre-resize window would re-trigger forever.
+//! * **Watching** — tumbling windows are compared against the reference
+//!   with the Mann–Whitney/Cliff's-delta machinery of [`crate::drift`]. A
+//!   confirmed shift reverts the function to the base size for a fresh
+//!   measurement window (the paper's "predict the optimal memory size for
+//!   the changed function behavior again"), closing the loop.
+//!
+//! Samples observed at a size the service did not direct (e.g. completions
+//! draining from warm instances of the previous size after a resize) are
+//! ignored as stale, so windows never mix memory sizes.
+
+use crate::drift::{detect_drift, watched_metrics, DriftConfig};
+use crate::model::PredictedTimes;
+use crate::optimizer::OptimizationOutcome;
+use crate::trainer::TrainedSizer;
+use serde::{Deserialize, Serialize};
+use sizeless_platform::MemorySize;
+use sizeless_telemetry::{InvocationSample, Metric, MetricStore, StreamingWindow};
+
+/// A memory-size recommendation for one monitored function.
+///
+/// (Historically exported from `crate::pipeline`; still re-exported there.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Predicted execution times at every size.
+    pub predicted: PredictedTimes,
+    /// The optimizer's scoring and decision.
+    pub outcome: OptimizationOutcome,
+}
+
+impl Recommendation {
+    /// The recommended memory size.
+    pub fn memory_size(&self) -> MemorySize {
+        self.outcome.chosen
+    }
+}
+
+/// Configuration of the online sizing service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Samples per decision window (measurement, reference, and drift
+    /// windows all use this length, so drift compares like with like).
+    pub window: usize,
+    /// Drift-detection thresholds.
+    pub drift: DriftConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            window: 150,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// Why a directive was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectiveReason {
+    /// The function was first observed at a non-base size; it must run at
+    /// the base size before the model can recommend.
+    Calibrate,
+    /// A filled measurement window produced a recommendation.
+    Recommend,
+    /// Drift was detected; the function reverts to the base size for a
+    /// fresh measurement window.
+    Drift,
+}
+
+/// A resize instruction for the embedding layer (e.g. the fleet simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingDirective {
+    /// Which function to resize.
+    pub fn_id: usize,
+    /// The size to run at from now on.
+    pub target: MemorySize,
+    /// Why.
+    pub reason: DirectiveReason,
+}
+
+/// Where a function currently stands in the service's loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FnPhase {
+    /// Collecting a measurement window at the base size.
+    Measuring,
+    /// Collecting the post-resize drift-reference window.
+    Referencing,
+    /// Steady state: tumbling drift checks against the reference.
+    Watching,
+}
+
+/// Running tallies of the service's activity, serializable for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Samples accepted into a window.
+    pub samples_ingested: usize,
+    /// Samples ignored because they were observed at a size the service
+    /// has already moved the function away from.
+    pub stale_samples_ignored: usize,
+    /// Measurement windows aggregated into recommendations.
+    pub recommendations: usize,
+    /// Drift checks run.
+    pub drift_checks: usize,
+    /// Drift checks that confirmed a shift.
+    pub drift_detections: usize,
+}
+
+/// Per-function streaming state.
+#[derive(Debug, Clone)]
+struct FnState {
+    current: MemorySize,
+    phase: FnPhase,
+    window: StreamingWindow,
+    reference: MetricStore,
+    recommendation: Option<Recommendation>,
+}
+
+/// The online right-sizing service: ingests telemetry, caches
+/// recommendations, emits resize directives.
+#[derive(Debug, Clone)]
+pub struct SizingService {
+    sizer: TrainedSizer,
+    config: ServiceConfig,
+    functions: Vec<Option<FnState>>,
+    watched: Vec<Metric>,
+    stats: ServiceStats,
+    /// Reusable store the tumbling drift window is copied into per check.
+    scratch: MetricStore,
+}
+
+impl SizingService {
+    /// A service driving decisions with `sizer` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length is below 8 — the Mann–Whitney normal
+    /// approximation in the drift path needs a handful of samples per side.
+    pub fn new(sizer: TrainedSizer, config: ServiceConfig) -> Self {
+        assert!(config.window >= 8, "service window must hold at least 8 samples");
+        SizingService {
+            sizer,
+            config,
+            functions: Vec::new(),
+            watched: watched_metrics(),
+            stats: ServiceStats::default(),
+            scratch: MetricStore::new(),
+        }
+    }
+
+    /// The artifact driving decisions.
+    pub fn sizer(&self) -> &TrainedSizer {
+        &self.sizer
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The base memory size measurement windows are collected at.
+    pub fn base(&self) -> MemorySize {
+        self.sizer.base()
+    }
+
+    /// Activity tallies so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The cached recommendation for a function, if one has been issued.
+    pub fn recommendation(&self, fn_id: usize) -> Option<&Recommendation> {
+        self.state(fn_id)?.recommendation.as_ref()
+    }
+
+    /// The size the service currently expects `fn_id` to run at.
+    pub fn current_size(&self, fn_id: usize) -> Option<MemorySize> {
+        Some(self.state(fn_id)?.current)
+    }
+
+    /// The function's position in the loop.
+    pub fn phase(&self, fn_id: usize) -> Option<FnPhase> {
+        Some(self.state(fn_id)?.phase)
+    }
+
+    fn state(&self, fn_id: usize) -> Option<&FnState> {
+        self.functions.get(fn_id)?.as_ref()
+    }
+
+    /// Ingests one invocation's monitoring sample for `fn_id`, observed at
+    /// memory size `at_size`. Returns a directive when the sample completes
+    /// a window that changes the function's target size.
+    ///
+    /// Samples at a size other than the function's current target are
+    /// ignored (warm instances of a previous size draining after a resize).
+    pub fn ingest(
+        &mut self,
+        fn_id: usize,
+        at_size: MemorySize,
+        sample: InvocationSample,
+    ) -> Option<SizingDirective> {
+        let base = self.sizer.base();
+        if self.functions.len() <= fn_id {
+            self.functions.resize_with(fn_id + 1, || None);
+        }
+        if self.functions[fn_id].is_none() {
+            self.functions[fn_id] = Some(FnState {
+                current: base,
+                phase: FnPhase::Measuring,
+                window: StreamingWindow::new(self.config.window),
+                reference: MetricStore::new(),
+                recommendation: None,
+            });
+            if at_size != base {
+                // First contact at a foreign size: direct to base for
+                // calibration; this sample is unusable.
+                self.stats.stale_samples_ignored += 1;
+                return Some(SizingDirective {
+                    fn_id,
+                    target: base,
+                    reason: DirectiveReason::Calibrate,
+                });
+            }
+        }
+
+        let state = self.functions[fn_id].as_mut().expect("state ensured above");
+        if at_size != state.current {
+            self.stats.stale_samples_ignored += 1;
+            return None;
+        }
+        state.window.push(sample);
+        self.stats.samples_ingested += 1;
+        if state.window.len() < self.config.window {
+            return None;
+        }
+
+        match state.phase {
+            FnPhase::Measuring => {
+                let metrics = state.window.aggregate();
+                let rec = self.sizer.recommend(&metrics);
+                let chosen = rec.memory_size();
+                self.stats.recommendations += 1;
+                state.recommendation = Some(rec);
+                if chosen == base {
+                    // No resize: the measurement window doubles as the
+                    // drift reference (same size, same length).
+                    state.window.write_store(&mut state.reference);
+                    state.window.clear();
+                    state.phase = FnPhase::Watching;
+                    None
+                } else {
+                    state.window.clear();
+                    state.phase = FnPhase::Referencing;
+                    state.current = chosen;
+                    Some(SizingDirective {
+                        fn_id,
+                        target: chosen,
+                        reason: DirectiveReason::Recommend,
+                    })
+                }
+            }
+            FnPhase::Referencing => {
+                state.window.write_store(&mut state.reference);
+                state.window.clear();
+                state.phase = FnPhase::Watching;
+                None
+            }
+            FnPhase::Watching => {
+                state.window.write_store(&mut self.scratch);
+                state.window.clear();
+                self.stats.drift_checks += 1;
+                let report =
+                    detect_drift(&state.reference, &self.scratch, &self.watched, &self.config.drift);
+                if !report.should_reoptimize() {
+                    return None;
+                }
+                self.stats.drift_detections += 1;
+                state.phase = FnPhase::Measuring;
+                let was = state.current;
+                state.current = base;
+                (was != base).then_some(SizingDirective {
+                    fn_id,
+                    target: base,
+                    reason: DirectiveReason::Drift,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::trainer::{Trainer, TrainerConfig};
+    use sizeless_engine::RngStream;
+    use sizeless_neural::NetworkConfig;
+    use sizeless_platform::Platform;
+    use sizeless_telemetry::METRIC_COUNT;
+
+    fn quick_sizer() -> TrainedSizer {
+        let cfg = TrainerConfig {
+            dataset: DatasetConfig::tiny(24),
+            network: NetworkConfig {
+                hidden_layers: 1,
+                neurons: 16,
+                epochs: 30,
+                l2: 0.0001,
+                ..NetworkConfig::default()
+            },
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg).train(&Platform::aws_like()).unwrap()
+    }
+
+    fn service(window: usize) -> SizingService {
+        SizingService::new(
+            quick_sizer(),
+            ServiceConfig {
+                window,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// A plausible CPU-ish sample with noise; `scale` shifts every metric.
+    fn sample(rng: &mut RngStream, i: usize, scale: f64) -> InvocationSample {
+        let mut values = [0.0; METRIC_COUNT];
+        for metric in Metric::ALL {
+            let b = (40.0 + metric.index() as f64) * scale;
+            values[metric.index()] = (b + rng.standard_normal()).max(0.0);
+        }
+        InvocationSample {
+            at_ms: i as f64 * 40.0,
+            values,
+        }
+    }
+
+    #[test]
+    fn recommends_after_one_full_window_and_caches() {
+        let mut svc = service(16);
+        let base = svc.base();
+        let mut rng = RngStream::from_seed(1, "svc");
+        let mut directive = None;
+        for i in 0..16 {
+            assert!(svc.recommendation(0).is_none());
+            directive = svc.ingest(0, base, sample(&mut rng, i, 1.0));
+        }
+        let rec = svc.recommendation(0).expect("window filled");
+        assert_eq!(svc.stats().recommendations, 1);
+        assert_eq!(svc.stats().samples_ingested, 16);
+        match directive {
+            Some(d) => {
+                assert_eq!(d.reason, DirectiveReason::Recommend);
+                assert_eq!(d.target, rec.memory_size());
+                assert_ne!(d.target, base);
+                assert_eq!(svc.phase(0), Some(FnPhase::Referencing));
+                assert_eq!(svc.current_size(0), Some(d.target));
+            }
+            None => {
+                assert_eq!(rec.memory_size(), base);
+                assert_eq!(svc.phase(0), Some(FnPhase::Watching));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_sizes_are_ignored_and_windows_never_mix() {
+        let mut svc = service(16);
+        let base = svc.base();
+        let mut rng = RngStream::from_seed(2, "svc-stale");
+        for i in 0..10 {
+            svc.ingest(0, base, sample(&mut rng, i, 1.0));
+        }
+        // A drain completion from some other size must not pollute.
+        let other = MemorySize::STANDARD.iter().copied().find(|&m| m != base).unwrap();
+        assert!(svc.ingest(0, other, sample(&mut rng, 10, 1.0)).is_none());
+        assert_eq!(svc.stats().stale_samples_ignored, 1);
+        assert_eq!(svc.stats().samples_ingested, 10);
+    }
+
+    #[test]
+    fn foreign_first_size_triggers_calibration_directive() {
+        let mut svc = service(16);
+        let base = svc.base();
+        let other = MemorySize::STANDARD.iter().copied().find(|&m| m != base).unwrap();
+        let mut rng = RngStream::from_seed(3, "svc-cal");
+        let d = svc.ingest(7, other, sample(&mut rng, 0, 1.0)).expect("directive");
+        assert_eq!(d.reason, DirectiveReason::Calibrate);
+        assert_eq!(d.target, base);
+        assert_eq!(d.fn_id, 7);
+        assert_eq!(svc.current_size(7), Some(base));
+        // Afterwards base-size samples are accepted normally.
+        assert!(svc.ingest(7, base, sample(&mut rng, 1, 1.0)).is_none());
+        assert_eq!(svc.stats().samples_ingested, 1);
+    }
+
+    #[test]
+    fn drift_reverts_to_base_and_remeasures() {
+        let mut svc = service(64);
+        let base = svc.base();
+        let mut rng = RngStream::from_seed(4, "svc-drift");
+        // Fill the measurement window with steady traffic.
+        let mut i = 0;
+        let mut directive = None;
+        while directive.is_none() && i < 64 {
+            directive = svc.ingest(0, base, sample(&mut rng, i, 1.0));
+            i += 1;
+        }
+        let current = svc.current_size(0).unwrap();
+        if current != base {
+            // Fill the reference window at the directed size.
+            for _ in 0..64 {
+                svc.ingest(0, current, sample(&mut rng, i, 1.0));
+                i += 1;
+            }
+        }
+        assert_eq!(svc.phase(0), Some(FnPhase::Watching));
+        // An un-shifted tumbling window does not trigger.
+        for _ in 0..64 {
+            assert!(svc.ingest(0, current, sample(&mut rng, i, 1.0)).is_none());
+            i += 1;
+        }
+        assert_eq!(svc.stats().drift_checks, 1);
+        assert_eq!(svc.stats().drift_detections, 0);
+        assert_eq!(svc.phase(0), Some(FnPhase::Watching));
+        // A strongly shifted workload does.
+        let mut out = None;
+        for _ in 0..64 {
+            out = svc.ingest(0, current, sample(&mut rng, i, 1.6));
+            i += 1;
+        }
+        assert_eq!(svc.stats().drift_detections, 1);
+        assert_eq!(svc.phase(0), Some(FnPhase::Measuring));
+        assert_eq!(svc.current_size(0), Some(base));
+        if current != base {
+            let d = out.expect("revert directive");
+            assert_eq!(d.reason, DirectiveReason::Drift);
+            assert_eq!(d.target, base);
+        }
+    }
+
+    #[test]
+    fn functions_are_tracked_independently() {
+        let mut svc = service(16);
+        let base = svc.base();
+        let mut rng = RngStream::from_seed(5, "svc-multi");
+        for i in 0..16 {
+            svc.ingest(0, base, sample(&mut rng, i, 1.0));
+            if i < 4 {
+                svc.ingest(3, base, sample(&mut rng, i, 2.0));
+            }
+        }
+        assert!(svc.recommendation(0).is_some());
+        assert!(svc.recommendation(3).is_none());
+        assert!(svc.recommendation(1).is_none(), "gap ids stay empty");
+        assert_eq!(svc.phase(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 samples")]
+    fn tiny_window_rejected() {
+        let _ = service(4);
+    }
+}

@@ -1,0 +1,246 @@
+//! The offline half of the Figure-2 loop: train once, ship an artifact.
+//!
+//! The paper separates an *offline* phase (generate the training dataset,
+//! train the multi-target regression model) from an *online* phase (consume
+//! production monitoring data, recommend a memory size). [`Trainer`] is the
+//! offline phase as a first-class object; its product is a
+//! [`TrainedSizer`] — a **serializable** artifact bundling the trained
+//! [`SizelessModel`] with the configured [`MemoryOptimizer`], i.e. exactly
+//! the state the online [`SizingService`](crate::service::SizingService)
+//! needs. Persisting the artifact means the expensive offline phase runs
+//! once and many services (or many fleet runs) load it.
+
+use crate::dataset::{DatasetConfig, TrainingDataset};
+use crate::error::CoreError;
+use crate::features::FeatureSet;
+use crate::model::SizelessModel;
+use crate::optimizer::{MemoryOptimizer, Tradeoff};
+use crate::service::Recommendation;
+use serde::{Deserialize, Serialize};
+use sizeless_neural::NetworkConfig;
+use sizeless_platform::{MemorySize, Platform};
+use sizeless_telemetry::MetricVector;
+use std::path::Path;
+
+/// Configuration of the offline phase.
+///
+/// (Historically named `PipelineConfig`; `crate::pipeline` re-exports it
+/// under that name for the pre-split API.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Offline dataset generation.
+    pub dataset: DatasetConfig,
+    /// Network hyperparameters (defaults: the paper's Table 2 selection).
+    pub network: NetworkConfig,
+    /// Feature set (defaults to the final F4).
+    pub feature_set: FeatureSet,
+    /// Base memory size monitored in production (the paper recommends
+    /// 256 MB, Table 3).
+    pub base_size: MemorySize,
+    /// Cost/performance tradeoff (the paper recommends t = 0.75).
+    pub tradeoff: Tradeoff,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            dataset: DatasetConfig::paper(),
+            network: NetworkConfig::default(),
+            feature_set: FeatureSet::F4,
+            base_size: MemorySize::MB_256,
+            tradeoff: Tradeoff::COST_LEANING,
+            seed: 0,
+        }
+    }
+}
+
+/// The offline phase: dataset generation + model training.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// A trainer with the given configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Runs the full offline phase on `platform`: generates the dataset,
+    /// trains the model, and packages the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetTooSmall`] if the dataset configuration
+    /// yields too few functions.
+    pub fn train(&self, platform: &Platform) -> Result<TrainedSizer, CoreError> {
+        let dataset = TrainingDataset::generate(platform, &self.config.dataset);
+        self.train_from_dataset(platform, &dataset)
+    }
+
+    /// Trains the artifact from an existing dataset (e.g. the shared cache
+    /// of the experiment binaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetTooSmall`] for datasets under ten
+    /// functions.
+    pub fn train_from_dataset(
+        &self,
+        platform: &Platform,
+        dataset: &TrainingDataset,
+    ) -> Result<TrainedSizer, CoreError> {
+        let model = SizelessModel::train(
+            dataset,
+            self.config.base_size,
+            self.config.feature_set,
+            &self.config.network,
+            self.config.seed,
+        )?;
+        Ok(TrainedSizer {
+            model,
+            optimizer: MemoryOptimizer::new(*platform.pricing(), self.config.tradeoff),
+        })
+    }
+}
+
+/// The offline phase's product: a trained model plus the optimizer that
+/// turns its predictions into memory-size decisions.
+///
+/// Serializable end to end (network weights, optimizer state, scaler,
+/// pricing, tradeoff), so it can be trained once, persisted with
+/// [`TrainedSizer::save`], and loaded into any number of online
+/// [`SizingService`](crate::service::SizingService)s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedSizer {
+    model: SizelessModel,
+    optimizer: MemoryOptimizer,
+}
+
+impl TrainedSizer {
+    /// Assembles an artifact from parts (e.g. a model trained elsewhere).
+    pub fn new(model: SizelessModel, optimizer: MemoryOptimizer) -> Self {
+        TrainedSizer { model, optimizer }
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &SizelessModel {
+        &self.model
+    }
+
+    /// The optimizer.
+    pub fn optimizer(&self) -> &MemoryOptimizer {
+        &self.optimizer
+    }
+
+    /// The base memory size the model expects monitoring data from.
+    pub fn base(&self) -> MemorySize {
+        self.model.base()
+    }
+
+    /// The online decision: monitoring aggregates at the base size in,
+    /// memory-size recommendation out.
+    pub fn recommend(&self, metrics: &MetricVector) -> Recommendation {
+        let predicted = self.model.predict(metrics);
+        let outcome = self.optimizer.optimize(&predicted);
+        Recommendation { predicted, outcome }
+    }
+
+    /// Persists the artifact as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] / [`CoreError::Serialization`] on failure.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads an artifact saved by [`TrainedSizer::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] / [`CoreError::Serialization`] on failure.
+    pub fn load(path: &Path) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizeless_neural::NetworkConfig;
+
+    fn quick_cfg() -> TrainerConfig {
+        TrainerConfig {
+            dataset: DatasetConfig::tiny(24),
+            network: NetworkConfig {
+                hidden_layers: 1,
+                neurons: 16,
+                epochs: 30,
+                l2: 0.0001,
+                ..NetworkConfig::default()
+            },
+            ..TrainerConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_an_artifact_with_paper_defaults_wired_through() {
+        let platform = Platform::aws_like();
+        let sizer = Trainer::new(quick_cfg()).train(&platform).unwrap();
+        assert_eq!(sizer.base(), MemorySize::MB_256);
+        assert_eq!(sizer.model().feature_set(), FeatureSet::F4);
+        assert_eq!(sizer.optimizer().tradeoff().value(), 0.75);
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json_bit_exactly() {
+        let platform = Platform::aws_like();
+        let dataset = TrainingDataset::generate(&platform, &quick_cfg().dataset);
+        let trainer = Trainer::new(quick_cfg());
+        let sizer = trainer.train_from_dataset(&platform, &dataset).unwrap();
+
+        let path = std::env::temp_dir().join("sizeless-test-trained-sizer.json");
+        sizer.save(&path).unwrap();
+        let loaded = TrainedSizer::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded, sizer);
+
+        // The loaded artifact recommends identically, bit for bit.
+        let metrics = dataset.records[0].metrics_at(MemorySize::MB_256);
+        let a = sizer.recommend(metrics);
+        let b = loaded.recommend(metrics);
+        assert_eq!(a, b);
+        for size in MemorySize::STANDARD {
+            assert_eq!(
+                a.predicted.time_ms(size).to_bits(),
+                b.predicted.time_ms(size).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn too_small_dataset_is_an_error() {
+        let platform = Platform::aws_like();
+        let mut cfg = quick_cfg();
+        cfg.dataset = DatasetConfig::tiny(3);
+        let err = Trainer::new(cfg).train(&platform).unwrap_err();
+        assert!(matches!(err, CoreError::DatasetTooSmall { have: 3, .. }));
+    }
+
+    #[test]
+    fn load_missing_artifact_errors() {
+        let err = TrainedSizer::load(Path::new("/nonexistent/sizer.json")).unwrap_err();
+        assert!(matches!(err, CoreError::Io(_)));
+    }
+}

@@ -17,18 +17,25 @@
 //! 4. the host reuses a warm instance or places a cold one (evicting idle
 //!    instances if memory is tight);
 //! 5. the platform samples the invocation; a completion event at
-//!    `now + init + duration` releases the instance with the keep-alive
-//!    policy's TTL.
+//!    `now + init + duration` (plus the monitor's wrapper overhead in
+//!    closed-loop fleets) releases the instance with the keep-alive
+//!    policy's TTL;
+//! 6. (closed-loop fleets only) the completion's monitoring sample is
+//!    ingested by the embedded [`SizingService`]; a resize directive
+//!    redeploys the function at the directed size across the cluster.
 
-use crate::host::Host;
+use crate::host::{Host, Placement};
 use crate::keepalive::{KeepAliveKind, KeepAlivePolicy};
 use crate::limits::{ConcurrencyLimits, ThrottleReason};
 use crate::scheduler::{Scheduler, SchedulerKind};
-use crate::stats::FleetReport;
+use crate::stats::{FleetReport, RightsizingReport};
+use sizeless_core::service::{DirectiveReason, SizingDirective, SizingService};
 use sizeless_engine::{RngStream, SimTime, Simulation};
-use sizeless_platform::pool::InstanceId;
-use sizeless_platform::{FunctionConfig, Platform};
-use sizeless_telemetry::{FleetCounters, FleetMetrics};
+use sizeless_platform::{FunctionConfig, MemorySize, Platform};
+use sizeless_telemetry::{
+    FleetCounters, FleetMetrics, InvocationSample, ResourceMonitor, RightsizingCounters,
+    RightsizingMetrics,
+};
 use sizeless_workload::{ArrivalProcess, BurstyArrival, BurstySampler};
 
 /// The arrival process driving one fleet function.
@@ -149,6 +156,35 @@ enum GapState {
     Bursty(BurstySampler),
 }
 
+/// Everything a completion event needs to settle one invocation. `memory`
+/// is the size the invocation *ran* at — captured at dispatch, because a
+/// sizing directive may redeploy the function before it completes.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    fn_id: usize,
+    host: usize,
+    placement: Placement,
+    memory: MemorySize,
+    /// User-visible latency (init + execution), ms.
+    latency_ms: f64,
+    /// Instance occupancy (latency + monitoring overhead), ms.
+    occupancy_ms: f64,
+    exec_ms: f64,
+    cost_usd: f64,
+}
+
+/// The embedded closed-loop right-sizer: the wrapper-style monitor feeding
+/// an online [`SizingService`] whose directives the fleet applies at
+/// runtime.
+struct SizingLoop {
+    service: SizingService,
+    monitor: ResourceMonitor,
+    /// Each function's originally deployed size — the "before" side of the
+    /// before/after-resize accounting.
+    original: Vec<MemorySize>,
+    counters: RightsizingCounters,
+}
+
 /// A configured cluster simulation, ready to [`Fleet::run`].
 pub struct Fleet {
     platform: Platform,
@@ -165,6 +201,8 @@ pub struct Fleet {
     check_invariants: bool,
     exec_rng: RngStream,
     sched_rng: RngStream,
+    monitor_rng: RngStream,
+    sizing: Option<SizingLoop>,
 }
 
 impl Fleet {
@@ -218,7 +256,27 @@ impl Fleet {
             check_invariants: config.check_invariants,
             exec_rng: root.derive("executions"),
             sched_rng: root.derive("scheduler"),
+            monitor_rng: root.derive("monitor"),
+            sizing: None,
         }
+    }
+
+    /// Embeds an online [`SizingService`]: every completion's monitoring
+    /// sample is ingested, and resize directives are applied to the live
+    /// fleet — the function's deployment switches to the directed size, new
+    /// cold starts pay the new size's scaling laws and pricing, and warm
+    /// instances of the old size drain or are evicted via the hosts'
+    /// generational pools. The wrapper monitor's overhead extends instance
+    /// occupancy (the paper's observation: the wrapper does not perturb the
+    /// measured execution time, it only occupies the worker longer).
+    pub fn with_sizing(mut self, service: SizingService) -> Self {
+        self.sizing = Some(SizingLoop {
+            service,
+            monitor: ResourceMonitor::new(),
+            original: self.functions.iter().map(|f| f.config.memory()).collect(),
+            counters: RightsizingCounters::default(),
+        });
+        self
     }
 
     fn next_arrival_gap(&mut self, fn_id: usize) -> f64 {
@@ -247,16 +305,17 @@ impl Fleet {
                 unreachable!("limits never report capacity")
             }
         }
-        let mem_mb = f64::from(self.functions[fn_id].config.memory().mb());
+        let memory = self.functions[fn_id].config.memory();
+        let mem_mb = f64::from(memory.mb());
         let placement = self
             .scheduler
             .select_host(fn_id, mem_mb, &mut self.hosts, now_ms, &mut self.sched_rng)
             .and_then(|h| {
                 self.hosts[h]
                     .try_begin(fn_id, mem_mb, self.default_ttl_ms, now_ms)
-                    .map(|(id, cold)| (h, id, cold))
+                    .map(|(p, cold)| (h, p, cold))
             });
-        let Some((host, instance, cold)) = placement else {
+        let Some((host, placement, cold)) = placement else {
             self.limits.release(fn_id);
             self.counters.throttled_capacity += 1;
             return;
@@ -272,34 +331,93 @@ impl Fleet {
         let latency_ms = record.init_ms + record.duration_ms;
         let exec_ms = record.duration_ms;
         let cost_usd = record.cost_usd;
-        sim.schedule_at(SimTime::from_millis(now_ms + latency_ms), move |s, f| {
-            f.on_complete(s, fn_id, host, instance, latency_ms, exec_ms, cost_usd);
+        // The monitor's wrapper overhead occupies the instance past the
+        // user-visible completion; the sample itself is written (ingested)
+        // when the instance is released.
+        let (occupancy_ms, sample) = match &mut self.sizing {
+            Some(s) => (
+                latency_ms + s.monitor.overhead_ms,
+                Some(s.monitor.observe(now_ms, &record.usage, &mut self.monitor_rng)),
+            ),
+            None => (latency_ms, None),
+        };
+        sim.schedule_at(SimTime::from_millis(now_ms + occupancy_ms), move |s, f| {
+            let done = Completion {
+                fn_id,
+                host,
+                placement,
+                memory,
+                latency_ms,
+                occupancy_ms,
+                exec_ms,
+                cost_usd,
+            };
+            f.on_complete(s, done, sample);
         });
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn on_complete(
         &mut self,
         sim: &mut Simulation<Fleet>,
-        fn_id: usize,
-        host: usize,
-        instance: InstanceId,
-        latency_ms: f64,
-        exec_ms: f64,
-        cost_usd: f64,
+        done: Completion,
+        sample: Option<InvocationSample>,
     ) {
         let now_ms = sim.now().as_millis();
-        let ttl = self.keepalive.ttl_ms(fn_id);
-        self.hosts[host].complete(fn_id, instance, now_ms, ttl, latency_ms);
-        self.limits.release(fn_id);
-        self.counters.exec_mb_ms += exec_ms * f64::from(self.functions[fn_id].config.memory().mb());
+        let ttl = self.keepalive.ttl_ms(done.fn_id);
+        self.hosts[done.host].complete(done.fn_id, done.placement, now_ms, ttl, done.occupancy_ms);
+        self.limits.release(done.fn_id);
+        let exec_mb_ms = done.exec_ms * f64::from(done.memory.mb());
+        self.counters.exec_mb_ms += exec_mb_ms;
         self.counters.in_flight -= 1;
         self.counters.completed += 1;
-        self.counters.sum_latency_ms += latency_ms;
-        self.counters.sum_cost_usd += cost_usd;
-        self.max_latency_ms = self.max_latency_ms.max(latency_ms);
+        self.counters.sum_latency_ms += done.latency_ms;
+        self.counters.sum_cost_usd += done.cost_usd;
+        self.max_latency_ms = self.max_latency_ms.max(done.latency_ms);
+
+        let mut directive = None;
+        if let Some(sizing) = &mut self.sizing {
+            let c = &mut sizing.counters;
+            if done.memory == sizing.original[done.fn_id] {
+                c.completed_at_original += 1;
+                c.sum_latency_original_ms += done.latency_ms;
+                c.sum_cost_original_usd += done.cost_usd;
+                c.exec_mb_ms_original += exec_mb_ms;
+            } else {
+                c.completed_at_directed += 1;
+                c.sum_latency_directed_ms += done.latency_ms;
+                c.sum_cost_directed_usd += done.cost_usd;
+                c.exec_mb_ms_directed += exec_mb_ms;
+            }
+            c.samples_ingested += 1;
+            let sample = sample.expect("sizing fleets monitor every invocation");
+            directive = sizing.service.ingest(done.fn_id, done.memory, sample);
+        }
+        if let Some(d) = directive {
+            self.apply_directive(d, now_ms);
+        }
         if self.check_invariants {
             self.assert_invariants(now_ms);
+        }
+    }
+
+    /// Applies a sizing directive to the live fleet: redeploys the function
+    /// at the directed size and retires old-size warmth on every host.
+    fn apply_directive(&mut self, d: SizingDirective, now_ms: f64) {
+        let sizing = self.sizing.as_mut().expect("directives come from the service");
+        match d.reason {
+            DirectiveReason::Recommend => sizing.counters.recommendations += 1,
+            DirectiveReason::Drift => sizing.counters.drift_reverts += 1,
+            DirectiveReason::Calibrate => {}
+        }
+        let config = &self.functions[d.fn_id].config;
+        if config.memory() == d.target {
+            return;
+        }
+        sizing.counters.resizes_applied += 1;
+        self.functions[d.fn_id].config = config.with_memory(d.target);
+        let mem_mb = f64::from(d.target.mb());
+        for host in &mut self.hosts {
+            host.resize(d.fn_id, mem_mb, self.default_ttl_ms, now_ms);
         }
     }
 
@@ -388,6 +506,7 @@ impl Fleet {
             .sum();
         debug_assert_eq!(self.counters.in_flight, 0, "drain left work in flight");
 
+        let drained_instances = self.hosts.iter().map(Host::resize_drains).sum();
         FleetReport {
             scheduler: self.scheduler.name().to_string(),
             keepalive: self.keepalive.name().to_string(),
@@ -403,6 +522,12 @@ impl Fleet {
             expirations: self.hosts.iter().map(Host::expirations).sum(),
             max_latency_ms: self.max_latency_ms,
             horizon_ms,
+            rightsizing: self.sizing.map(|s| RightsizingReport {
+                counters: s.counters,
+                metrics: RightsizingMetrics::from_counters(&s.counters),
+                service: *s.service.stats(),
+                drained_instances,
+            }),
         }
     }
 }
@@ -423,6 +548,30 @@ pub fn run_fleet(
         scheduler.build(),
         keepalive.build(functions.len(), default_ttl),
     )
+    .run()
+}
+
+/// Runs a **closed-loop** fleet: built-in policies plus an embedded
+/// [`SizingService`] whose resize directives are applied at runtime. The
+/// report's [`FleetReport::rightsizing`] section carries the
+/// before/after-resize accounting.
+pub fn run_rightsized_fleet(
+    platform: &Platform,
+    config: &FleetConfig,
+    functions: &[FleetFunction],
+    scheduler: SchedulerKind,
+    keepalive: KeepAliveKind,
+    service: SizingService,
+) -> FleetReport {
+    let default_ttl = platform.cold_start_model().idle_ttl_ms;
+    Fleet::new(
+        platform,
+        config,
+        functions,
+        scheduler.build(),
+        keepalive.build(functions.len(), default_ttl),
+    )
+    .with_sizing(service)
     .run()
 }
 
@@ -568,6 +717,120 @@ mod tests {
             fixed.metrics.cold_start_rate
         );
         assert!(none.metrics.wasted_mb_ms < fixed.metrics.wasted_mb_ms);
+    }
+
+    fn quick_service(window: usize) -> SizingService {
+        use sizeless_core::dataset::DatasetConfig;
+        use sizeless_core::service::ServiceConfig;
+        use sizeless_core::trainer::{Trainer, TrainerConfig};
+        let cfg = TrainerConfig {
+            dataset: DatasetConfig::tiny(24),
+            network: sizeless_neural::NetworkConfig {
+                hidden_layers: 1,
+                neurons: 16,
+                epochs: 30,
+                l2: 0.0001,
+                ..sizeless_neural::NetworkConfig::default()
+            },
+            ..TrainerConfig::default()
+        };
+        let sizer = Trainer::new(cfg).train(&Platform::aws_like()).unwrap();
+        SizingService::new(
+            sizer,
+            ServiceConfig {
+                window,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// The closed-loop workload: functions deployed at the service's base
+    /// size with enough traffic to fill several windows.
+    fn closed_loop_functions() -> Vec<FleetFunction> {
+        let io = ResourceProfile::builder("loop-io")
+            .stage(Stage::file_io("io", 512.0, 128.0))
+            .build();
+        let cpu = ResourceProfile::builder("loop-cpu")
+            .stage(Stage::cpu("work", 60.0))
+            .build();
+        vec![
+            FleetFunction::new(
+                FunctionConfig::new(io, MemorySize::MB_256),
+                FleetArrival::Steady(ArrivalProcess::poisson(20.0)),
+            ),
+            FleetFunction::new(
+                FunctionConfig::new(cpu, MemorySize::MB_256),
+                FleetArrival::Steady(ArrivalProcess::poisson(12.0)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn closed_loop_fleet_recommends_resizes_and_stays_consistent() {
+        let platform = Platform::aws_like();
+        let config = FleetConfig::new(4, 4096.0, 25_000.0, 5).with_invariant_checks();
+        let report = run_rightsized_fleet(
+            &platform,
+            &config,
+            &closed_loop_functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+            quick_service(60),
+        );
+        assert!(report.counters.is_conserved());
+        assert_eq!(report.counters.in_flight, 0);
+        let rs = report.rightsizing.as_ref().expect("closed loop reports");
+        // Every completion was monitored and ingested (or ignored as stale).
+        assert_eq!(rs.counters.samples_ingested, report.counters.completed);
+        assert_eq!(
+            rs.service.samples_ingested + rs.service.stale_samples_ignored,
+            report.counters.completed
+        );
+        // Enough traffic to fill measurement windows for both functions.
+        assert!(rs.service.recommendations >= 2, "{:?}", rs.service);
+        // Before/after accounting splits every completion exactly once.
+        assert_eq!(
+            rs.counters.completed_at_original + rs.counters.completed_at_directed,
+            report.counters.completed
+        );
+        // If any resize was applied, directed-size completions follow and
+        // the old-size warmth drained through the generational pools.
+        if rs.counters.resizes_applied > 0 {
+            assert!(rs.counters.completed_at_directed > 0);
+            assert!(rs.counters.exec_mb_ms_directed > 0.0);
+        }
+        // The exec split sums to the fleet-wide exec footprint.
+        let split = rs.counters.exec_mb_ms_original + rs.counters.exec_mb_ms_directed;
+        assert!((split - report.counters.exec_mb_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn closed_loop_fleet_is_deterministic() {
+        let platform = Platform::aws_like();
+        let config = FleetConfig::new(2, 4096.0, 15_000.0, 9);
+        let run = || {
+            run_rightsized_fleet(
+                &platform,
+                &config,
+                &closed_loop_functions(),
+                SchedulerKind::WarmFirst,
+                KeepAliveKind::Adaptive,
+                quick_service(50),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn static_fleet_reports_no_rightsizing_section() {
+        let report = run_fleet(
+            &Platform::aws_like(),
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+        );
+        assert!(report.rightsizing.is_none());
     }
 
     #[test]

@@ -1,20 +1,63 @@
 //! An invoker host: finite memory shared by per-function warm pools.
 //!
-//! A host owns one [`WarmPool`] per function that has ever been placed on
+//! A host owns warm pools for every function that has ever been placed on
 //! it. Placing a cold instance commits the function's configured memory
 //! size until the instance is reclaimed (keep-alive expiry, eviction, or
 //! end-of-run finalization); a host at capacity evicts its least-recently
 //! used idle instances — across all functions — to make room, and refuses
 //! placement when even that is not enough.
+//!
+//! Pools are **generational** to support runtime memory-size transitions
+//! (the closed-loop right-sizer's resize directives): each `(function,
+//! size)` deployment generation gets its own [`WarmPool`]. On a resize the
+//! old generation is retired — its idle instances are evicted immediately,
+//! its in-flight instances drain (they complete, are accounted at the old
+//! size, and are reclaimed on release instead of going warm) — while new
+//! requests cold-start into a fresh pool at the new size. A [`Placement`]
+//! remembers which generation an invocation started on so completions
+//! always release into the right pool.
 
 use sizeless_platform::pool::{InstanceId, WarmPool};
+use std::collections::VecDeque;
 
-/// One per-function pool on a host plus the memory each of its instances
-/// commits.
+/// One pool generation of a function on a host: the memory each instance
+/// commits, fixed at creation.
 #[derive(Debug, Clone)]
 struct FnPool {
     mem_mb: f64,
     pool: WarmPool,
+}
+
+/// A started invocation's location on a host: the pool generation it was
+/// placed in plus the instance within that pool. Pass it back to
+/// [`Host::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Absolute generation id — stays valid even after older, fully
+    /// drained generations are pruned.
+    generation: usize,
+    instance: InstanceId,
+}
+
+/// A function's pool generations on one host. Generations retire in order
+/// (oldest first), so fully drained ones are pruned from the front with
+/// their counters folded into the host totals; `first` keeps the absolute
+/// ids in outstanding [`Placement`]s valid.
+#[derive(Debug, Clone, Default)]
+struct FnGens {
+    /// Absolute generation id of `gens[0]`.
+    first: usize,
+    gens: VecDeque<FnPool>,
+}
+
+impl FnGens {
+    fn active_mut(&mut self) -> Option<&mut FnPool> {
+        self.gens.back_mut()
+    }
+
+    fn get_mut(&mut self, generation: usize) -> Option<&mut FnPool> {
+        self.gens.get_mut(generation.checked_sub(self.first)?)
+    }
 }
 
 /// An invoker host with finite memory capacity.
@@ -22,8 +65,15 @@ struct FnPool {
 pub struct Host {
     id: usize,
     capacity_mb: f64,
-    pools: Vec<Option<FnPool>>,
+    /// Pool generations per function id.
+    pools: Vec<FnGens>,
     busy_mb_ms: f64,
+    resize_drains: usize,
+    /// Counters folded in from pruned (fully drained) generations.
+    pruned_provisioned: usize,
+    pruned_evictions: usize,
+    pruned_expirations: usize,
+    pruned_wasted_mb_ms: f64,
 }
 
 impl Host {
@@ -42,6 +92,11 @@ impl Host {
             capacity_mb,
             pools: Vec::new(),
             busy_mb_ms: 0.0,
+            resize_drains: 0,
+            pruned_provisioned: 0,
+            pruned_evictions: 0,
+            pruned_expirations: 0,
+            pruned_wasted_mb_ms: 0.0,
         }
     }
 
@@ -55,23 +110,105 @@ impl Host {
         self.capacity_mb
     }
 
-    fn ensure_pool(&mut self, fn_id: usize, mem_mb: f64, default_ttl_ms: f64) {
+    /// Ensures an *active* pool for `fn_id` at `mem_mb` exists, retiring a
+    /// stale-size active pool if needed. Returns the active generation's
+    /// absolute id.
+    fn ensure_pool(&mut self, fn_id: usize, mem_mb: f64, default_ttl_ms: f64, now_ms: f64) -> usize {
         if self.pools.len() <= fn_id {
-            self.pools.resize_with(fn_id + 1, || None);
+            self.pools.resize_with(fn_id + 1, FnGens::default);
         }
-        if self.pools[fn_id].is_none() {
-            self.pools[fn_id] = Some(FnPool {
+        match self.pools[fn_id].active_mut() {
+            Some(active) if active.mem_mb == mem_mb => {}
+            Some(_) => {
+                // Defensive path: a placement at a size the host was never
+                // explicitly resized to — run the same transition a resize
+                // directive would.
+                self.retire_and_replace(fn_id, mem_mb, default_ttl_ms, now_ms);
+            }
+            None => self.pools[fn_id].gens.push_back(FnPool {
                 mem_mb,
                 pool: WarmPool::new(default_ttl_ms),
-            });
+            }),
+        }
+        let gens = &self.pools[fn_id];
+        gens.first + gens.gens.len() - 1
+    }
+
+    /// The generation transition shared by [`Host::resize`] and the
+    /// defensive arm of `ensure_pool`: retire the active pool's idle
+    /// instances, open a fresh pool at `mem_mb`, and prune whatever is
+    /// fully drained. Returns the number of idle instances drained.
+    fn retire_and_replace(
+        &mut self,
+        fn_id: usize,
+        mem_mb: f64,
+        default_ttl_ms: f64,
+        now_ms: f64,
+    ) -> usize {
+        let gens = &mut self.pools[fn_id];
+        let drained = gens
+            .active_mut()
+            .expect("transition requires an active pool")
+            .pool
+            .retire_idle(now_ms);
+        self.resize_drains += drained;
+        gens.gens.push_back(FnPool {
+            mem_mb,
+            pool: WarmPool::new(default_ttl_ms),
+        });
+        self.prune_drained(fn_id);
+        drained
+    }
+
+    /// Applies a memory-size transition for `fn_id`: the active pool (if
+    /// any, and only if its size differs) is retired — idle instances are
+    /// evicted now, in-flight ones drain on completion — and a fresh pool
+    /// at `new_mem_mb` becomes active. Returns the number of idle
+    /// instances drained.
+    pub fn resize(&mut self, fn_id: usize, new_mem_mb: f64, default_ttl_ms: f64, now_ms: f64) -> usize {
+        let Some(gens) = self.pools.get_mut(fn_id) else {
+            return 0; // never placed here: nothing to drain
+        };
+        match gens.active_mut() {
+            Some(active) if active.mem_mb != new_mem_mb => {
+                self.retire_and_replace(fn_id, new_mem_mb, default_ttl_ms, now_ms)
+            }
+            _ => 0,
         }
     }
 
+    /// Drops retired generations (oldest first) once they hold no in-flight
+    /// instances, folding their counters into the host totals — repeated
+    /// resizes therefore keep the per-dispatch scans O(live generations),
+    /// not O(resizes ever applied). The active generation is never pruned.
+    fn prune_drained(&mut self, fn_id: usize) {
+        let gens = &mut self.pools[fn_id];
+        while gens.gens.len() > 1 {
+            let front = gens.gens.front().expect("len checked");
+            if front.pool.in_flight() > 0 {
+                break;
+            }
+            let dead = gens.gens.pop_front().expect("len checked");
+            gens.first += 1;
+            self.pruned_provisioned += dead.pool.provisioned();
+            self.pruned_evictions += dead.pool.evictions();
+            self.pruned_expirations += dead.pool.expirations();
+            self.pruned_wasted_mb_ms += dead.pool.wasted_idle_ms() * dead.mem_mb;
+        }
+    }
+
+    /// The number of retained pool generations for `fn_id` — the active
+    /// one plus retired generations still draining in-flight work.
+    pub fn generations(&self, fn_id: usize) -> usize {
+        self.pools.get(fn_id).map_or(0, |g| g.gens.len())
+    }
+
     /// Memory committed to live (warm or busy) instances at `now_ms`, MB.
+    /// Draining generations still commit for their in-flight instances.
     pub fn committed_mb(&mut self, now_ms: f64) -> f64 {
         self.pools
             .iter_mut()
-            .flatten()
+            .flat_map(|g| g.gens.iter_mut())
             .map(|fp| fp.pool.live_at(now_ms) as f64 * fp.mem_mb)
             .sum()
     }
@@ -86,11 +223,12 @@ impl Host {
         self.committed_mb(now_ms) / self.capacity_mb
     }
 
-    /// Warm instances of `fn_id` available for reuse at `now_ms`.
+    /// Warm instances of `fn_id` available for reuse at `now_ms` — active
+    /// generation only; retired generations never serve requests.
     pub fn warm_idle(&mut self, fn_id: usize, now_ms: f64) -> usize {
-        match self.pools.get_mut(fn_id) {
-            Some(Some(fp)) => fp.pool.warm_idle_at(now_ms),
-            _ => 0,
+        match self.pools.get_mut(fn_id).and_then(FnGens::active_mut) {
+            Some(fp) => fp.pool.warm_idle_at(now_ms),
+            None => 0,
         }
     }
 
@@ -98,7 +236,7 @@ impl Host {
     fn evictable_idle_mb(&mut self, now_ms: f64) -> f64 {
         self.pools
             .iter_mut()
-            .flatten()
+            .flat_map(|g| g.gens.iter_mut())
             .map(|fp| fp.pool.warm_idle_at(now_ms) as f64 * fp.mem_mb)
             .sum()
     }
@@ -107,11 +245,18 @@ impl Host {
     /// at `now_ms` — warm reuse, a free-memory placement, or a placement
     /// after evicting idle instances.
     pub fn feasible(&mut self, fn_id: usize, mem_mb: f64, now_ms: f64) -> bool {
-        if self.warm_idle(fn_id, now_ms) > 0 {
+        if self.active_matches(fn_id, mem_mb) && self.warm_idle(fn_id, now_ms) > 0 {
             return true;
         }
         mem_mb <= self.capacity_mb
             && self.free_mb(now_ms) + self.evictable_idle_mb(now_ms) + 1e-9 >= mem_mb
+    }
+
+    fn active_matches(&self, fn_id: usize, mem_mb: f64) -> bool {
+        self.pools
+            .get(fn_id)
+            .and_then(|g| g.gens.back())
+            .is_some_and(|fp| fp.mem_mb == mem_mb)
     }
 
     /// Evicts the least-recently released idle instance across all pools.
@@ -120,19 +265,16 @@ impl Host {
         let victim = self
             .pools
             .iter_mut()
-            .enumerate()
-            .filter_map(|(i, slot)| {
-                let fp = slot.as_mut()?;
-                fp.pool.oldest_idle_release_ms(now_ms).map(|t| (i, t))
+            .flat_map(|g| g.gens.iter_mut())
+            .map(|fp| &mut fp.pool)
+            .filter_map(|pool| {
+                let t = pool.oldest_idle_release_ms(now_ms)?;
+                Some((pool, t))
             })
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("release times are never NaN"))
-            .map(|(i, _)| i);
+            .map(|(pool, _)| pool);
         match victim {
-            Some(i) => self.pools[i]
-                .as_mut()
-                .expect("victim pool exists")
-                .pool
-                .evict_lru_idle(now_ms),
+            Some(pool) => pool.evict_lru_idle(now_ms),
             None => false,
         }
     }
@@ -146,14 +288,15 @@ impl Host {
         mem_mb: f64,
         default_ttl_ms: f64,
         now_ms: f64,
-    ) -> Option<(InstanceId, bool)> {
-        self.ensure_pool(fn_id, mem_mb, default_ttl_ms);
+    ) -> Option<(Placement, bool)> {
+        let generation = self.ensure_pool(fn_id, mem_mb, default_ttl_ms, now_ms);
         if self.warm_idle(fn_id, now_ms) > 0 {
             return self.pools[fn_id]
-                .as_mut()
-                .expect("pool just ensured")
+                .get_mut(generation)
+                .expect("active generation exists")
                 .pool
-                .try_begin(now_ms);
+                .try_begin(now_ms)
+                .map(|(instance, cold)| (Placement { generation, instance }, cold));
         }
         if mem_mb > self.capacity_mb {
             return None;
@@ -164,64 +307,87 @@ impl Host {
             }
         }
         self.pools[fn_id]
-            .as_mut()
-            .expect("pool just ensured")
+            .get_mut(generation)
+            .expect("active generation exists")
             .pool
             .try_begin(now_ms)
+            .map(|(instance, cold)| (Placement { generation, instance }, cold))
     }
 
     /// Completes an invocation at `finish_ms`: releases the instance with
     /// the keep-alive window `ttl_ms` and accounts `busy_ms` (init +
-    /// execution) of busy memory-time.
+    /// execution + monitoring overhead) of busy memory-time at the size the
+    /// invocation actually ran at. Instances of retired (resized-away)
+    /// generations are reclaimed immediately instead of going warm.
     pub fn complete(
         &mut self,
         fn_id: usize,
-        id: InstanceId,
+        placement: Placement,
         finish_ms: f64,
         ttl_ms: f64,
         busy_ms: f64,
     ) {
-        let fp = self.pools[fn_id]
-            .as_mut()
-            .expect("completion for a function never placed on this host");
-        fp.pool.complete_with_ttl(id, finish_ms, ttl_ms);
+        let gens = &mut self.pools[fn_id];
+        let retired = placement.generation + 1 != gens.first + gens.gens.len();
+        let fp = gens
+            .get_mut(placement.generation)
+            .expect("completion for a generation never created on this host");
+        let ttl = if retired { 0.0 } else { ttl_ms };
+        fp.pool.complete_with_ttl(placement.instance, finish_ms, ttl);
         self.busy_mb_ms += busy_ms * fp.mem_mb;
+        if retired {
+            self.resize_drains += 1;
+            self.prune_drained(fn_id);
+        }
     }
 
     /// Invocations currently executing on this host.
     pub fn in_flight(&self) -> usize {
         self.pools
             .iter()
-            .flatten()
+            .flat_map(|g| &g.gens)
             .map(|fp| fp.pool.in_flight())
             .sum()
     }
 
     /// Instances ever provisioned on this host.
     pub fn provisioned(&self) -> usize {
-        self.pools
-            .iter()
-            .flatten()
-            .map(|fp| fp.pool.provisioned())
-            .sum()
+        self.pruned_provisioned
+            + self
+                .pools
+                .iter()
+                .flat_map(|g| &g.gens)
+                .map(|fp| fp.pool.provisioned())
+                .sum::<usize>()
     }
 
-    /// Instances evicted for memory pressure.
+    /// Instances evicted for memory pressure or retired by a resize.
     pub fn evictions(&self) -> usize {
-        self.pools
-            .iter()
-            .flatten()
-            .map(|fp| fp.pool.evictions())
-            .sum()
+        self.pruned_evictions
+            + self
+                .pools
+                .iter()
+                .flat_map(|g| &g.gens)
+                .map(|fp| fp.pool.evictions())
+                .sum::<usize>()
     }
 
-    /// Instances reclaimed by keep-alive expiry.
+    /// Instances reclaimed by keep-alive expiry (including the immediate
+    /// reclaim of draining instances on completion).
     pub fn expirations(&self) -> usize {
-        self.pools
-            .iter()
-            .flatten()
-            .map(|fp| fp.pool.expirations())
-            .sum()
+        self.pruned_expirations
+            + self
+                .pools
+                .iter()
+                .flat_map(|g| &g.gens)
+                .map(|fp| fp.pool.expirations())
+                .sum::<usize>()
+    }
+
+    /// Instances drained because of a memory-size transition: idle ones
+    /// evicted at resize time plus in-flight ones reclaimed on completion.
+    pub fn resize_drains(&self) -> usize {
+        self.resize_drains
     }
 
     /// Busy memory-time accumulated so far, MB·ms.
@@ -231,17 +397,19 @@ impl Host {
 
     /// Warm-but-idle memory-time accrued so far, MB·ms.
     pub fn wasted_mb_ms(&self) -> f64 {
-        self.pools
-            .iter()
-            .flatten()
-            .map(|fp| fp.pool.wasted_idle_ms() * fp.mem_mb)
-            .sum()
+        self.pruned_wasted_mb_ms
+            + self
+                .pools
+                .iter()
+                .flat_map(|g| &g.gens)
+                .map(|fp| fp.pool.wasted_idle_ms() * fp.mem_mb)
+                .sum::<f64>()
     }
 
     /// Reclaims all idle instances at the end of a run, accruing trailing
     /// idle memory-time.
     pub fn finalize(&mut self, end_ms: f64) {
-        for fp in self.pools.iter_mut().flatten() {
+        for fp in self.pools.iter_mut().flat_map(|g| g.gens.iter_mut()) {
             fp.pool.finalize(end_ms);
         }
     }
@@ -275,8 +443,8 @@ mod tests {
     #[test]
     fn warm_reuse_avoids_cold_start() {
         let mut h = Host::new(0, 1024.0);
-        let (id, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
-        h.complete(0, id, 50.0, TTL, 50.0);
+        let (p, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, p, 50.0, TTL, 50.0);
         let (_, cold) = h.try_begin(0, 512.0, TTL, 100.0).unwrap();
         assert!(!cold);
         assert_eq!(h.provisioned(), 1);
@@ -304,9 +472,9 @@ mod tests {
         let mut h = Host::new(0, 1024.0);
         assert!(!h.feasible(0, 2048.0, 0.0), "larger than the host");
         assert!(h.feasible(0, 1024.0, 0.0));
-        let (id, _) = h.try_begin(0, 1024.0, TTL, 0.0).unwrap();
+        let (p, _) = h.try_begin(0, 1024.0, TTL, 0.0).unwrap();
         assert!(!h.feasible(1, 512.0, 1.0), "fully busy");
-        h.complete(0, id, 10.0, TTL, 10.0);
+        h.complete(0, p, 10.0, TTL, 10.0);
         assert!(h.feasible(0, 1024.0, 20.0), "warm instance");
         assert!(h.feasible(1, 512.0, 20.0), "evictable idle instance");
     }
@@ -314,11 +482,113 @@ mod tests {
     #[test]
     fn utilization_accounting() {
         let mut h = Host::new(0, 1024.0);
-        let (id, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
-        h.complete(0, id, 200.0, TTL, 200.0);
+        let (p, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, p, 200.0, TTL, 200.0);
         assert_eq!(h.busy_mb_ms(), 200.0 * 512.0);
         h.finalize(1_200.0);
         assert_eq!(h.wasted_mb_ms(), 1_000.0 * 512.0);
         assert_eq!(h.committed_mb(1_200.0), 0.0);
+    }
+
+    #[test]
+    fn resize_evicts_idle_and_drains_in_flight_at_old_size() {
+        let mut h = Host::new(0, 4096.0);
+        // Two instances at 512 MB: one goes idle, one stays in flight.
+        let (idle, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        let (busy, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, idle, 50.0, TTL, 50.0);
+
+        assert_eq!(h.resize(0, 1024.0, TTL, 100.0), 1, "idle instance drained");
+        // The idle 512 MB instance is gone; the busy one still commits.
+        assert_eq!(h.committed_mb(100.0), 512.0);
+        assert_eq!(h.warm_idle(0, 100.0), 0, "old-size warmth is not reusable");
+
+        // New requests cold-start at the new size.
+        let (fresh, cold) = h.try_begin(0, 1024.0, TTL, 110.0).unwrap();
+        assert!(cold);
+        assert_eq!(h.committed_mb(110.0), 512.0 + 1024.0);
+
+        // The draining in-flight instance completes at the old size: busy
+        // time is accounted at 512 MB and it does NOT go warm.
+        let before = h.busy_mb_ms();
+        h.complete(0, busy, 200.0, TTL, 200.0);
+        assert_eq!(h.busy_mb_ms() - before, 200.0 * 512.0);
+        assert_eq!(h.committed_mb(200.0), 1024.0);
+        assert_eq!(h.resize_drains(), 2, "one idle + one in-flight drain");
+
+        // The new-size instance keeps normal keep-alive semantics.
+        h.complete(0, fresh, 300.0, TTL, 190.0);
+        assert_eq!(h.warm_idle(0, 310.0), 1);
+        let (_, cold2) = h.try_begin(0, 1024.0, TTL, 320.0).unwrap();
+        assert!(!cold2, "warm reuse at the new size");
+    }
+
+    #[test]
+    fn resize_to_same_size_or_unknown_function_is_a_no_op() {
+        let mut h = Host::new(0, 1024.0);
+        assert_eq!(h.resize(5, 512.0, TTL, 0.0), 0, "function never placed");
+        let (p, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, p, 10.0, TTL, 10.0);
+        assert_eq!(h.resize(0, 512.0, TTL, 20.0), 0, "same size keeps warmth");
+        let (_, cold) = h.try_begin(0, 512.0, TTL, 30.0).unwrap();
+        assert!(!cold);
+    }
+
+    #[test]
+    fn drained_generations_are_pruned_with_counters_preserved() {
+        let mut h = Host::new(0, 8192.0);
+        let (a, _) = h.try_begin(0, 256.0, TTL, 0.0).unwrap();
+        h.complete(0, a, 50.0, TTL, 50.0);
+        // The resize drains the idle instance; the old generation is empty
+        // and is pruned immediately, counters folded into host totals.
+        assert_eq!(h.resize(0, 512.0, TTL, 100.0), 1);
+        assert_eq!(h.generations(0), 1);
+        assert_eq!(h.provisioned(), 1);
+        assert_eq!(h.evictions(), 1);
+        assert_eq!(h.wasted_mb_ms(), 50.0 * 256.0);
+
+        // An oscillating right-sizer never accumulates generations while
+        // nothing is in flight.
+        for (i, mb) in [256.0, 512.0].iter().cycle().take(10).enumerate() {
+            h.resize(0, *mb, TTL, 200.0 + i as f64);
+        }
+        assert_eq!(h.generations(0), 1);
+
+        // In-flight work delays pruning exactly until its completion.
+        let (b, _) = h.try_begin(0, 512.0, TTL, 300.0).unwrap();
+        h.resize(0, 1024.0, TTL, 310.0);
+        assert_eq!(h.generations(0), 2, "draining generation retained");
+        h.complete(0, b, 330.0, TTL, 30.0);
+        assert_eq!(h.generations(0), 1, "drained generation pruned");
+        assert_eq!(h.provisioned(), 2);
+        assert_eq!(h.busy_mb_ms(), 50.0 * 256.0 + 30.0 * 512.0);
+        assert_eq!(h.resize_drains(), 2, "one idle drain + one in-flight drain");
+    }
+
+    #[test]
+    fn repeated_resizes_stack_generations_consistently() {
+        let mut h = Host::new(0, 8192.0);
+        let sizes = [256.0, 1024.0, 128.0, 2048.0];
+        let mut in_flight = Vec::new();
+        for (i, &mb) in sizes.iter().enumerate() {
+            let now = i as f64 * 100.0;
+            h.resize(0, mb, TTL, now);
+            let (p, cold) = h.try_begin(0, mb, TTL, now + 10.0).unwrap();
+            assert!(cold, "every generation cold-starts");
+            in_flight.push((p, mb));
+        }
+        // All four generations still commit their in-flight memory.
+        assert_eq!(h.committed_mb(400.0), sizes.iter().sum::<f64>());
+        assert_eq!(h.in_flight(), 4);
+        // Completions route to their own generation and account correctly.
+        let mut expected_busy = 0.0;
+        for (p, mb) in in_flight {
+            h.complete(0, p, 500.0, TTL, 100.0);
+            expected_busy += 100.0 * mb;
+        }
+        assert_eq!(h.busy_mb_ms(), expected_busy);
+        // Only the newest generation may hold warmth.
+        assert_eq!(h.warm_idle(0, 510.0), 1);
+        assert_eq!(h.committed_mb(510.0), 2048.0);
     }
 }

@@ -19,10 +19,17 @@
 //!   429-style throttling.
 //! * [`fleet`] — the façade: [`run_fleet`] wires arrivals (Poisson or
 //!   bursty, from `sizeless_workload`) through limits, scheduler, hosts,
-//!   and completions, entirely as simulation events.
+//!   and completions, entirely as simulation events;
+//!   [`run_rightsized_fleet`] additionally embeds an online
+//!   [`SizingService`](sizeless_core::service::SizingService) whose resize
+//!   directives are applied to the live cluster (old-size warm instances
+//!   drain through the hosts' generational pools, new cold starts pay the
+//!   new size's scaling laws and pricing) — the paper's offline/online
+//!   loop, closed at fleet scale.
 //! * [`stats`] — the [`FleetReport`]: raw
 //!   [`FleetCounters`](sizeless_telemetry::FleetCounters) plus derived
-//!   [`FleetMetrics`](sizeless_telemetry::FleetMetrics).
+//!   [`FleetMetrics`](sizeless_telemetry::FleetMetrics), and the
+//!   before/after-resize [`RightsizingReport`] of closed-loop runs.
 //!
 //! The single-function measurement harness is the special case of a
 //! one-host fleet with unbounded memory and no limits.
@@ -83,8 +90,10 @@ pub mod stats;
 
 /// Re-exports of the most used fleet items.
 pub mod prelude {
-    pub use crate::fleet::{run_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction};
-    pub use crate::host::Host;
+    pub use crate::fleet::{
+        run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction,
+    };
+    pub use crate::host::{Host, Placement};
     pub use crate::keepalive::{
         AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive,
     };
@@ -92,12 +101,12 @@ pub mod prelude {
     pub use crate::scheduler::{
         LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst,
     };
-    pub use crate::stats::FleetReport;
+    pub use crate::stats::{FleetReport, RightsizingReport};
 }
 
-pub use fleet::{run_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction};
-pub use host::Host;
+pub use fleet::{run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction};
+pub use host::{Host, Placement};
 pub use keepalive::{AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive};
 pub use limits::{ConcurrencyLimits, ThrottleReason};
 pub use scheduler::{LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst};
-pub use stats::FleetReport;
+pub use stats::{FleetReport, RightsizingReport};

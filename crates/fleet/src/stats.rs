@@ -2,7 +2,24 @@
 //! detail, serializable for the experiment binaries.
 
 use serde::{Deserialize, Serialize};
-use sizeless_telemetry::{FleetCounters, FleetMetrics};
+use sizeless_core::service::ServiceStats;
+use sizeless_telemetry::{FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics};
+
+/// The closed-loop right-sizing section of a fleet report: fleet-side
+/// tallies and before/after-resize rates plus the sizing service's own
+/// activity stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RightsizingReport {
+    /// Fleet-side tallies (directives applied, before/after accounting).
+    pub counters: RightsizingCounters,
+    /// Rates derived from the counters.
+    pub metrics: RightsizingMetrics,
+    /// The embedded sizing service's activity tallies.
+    pub service: ServiceStats,
+    /// Instances drained (idle evicted at resize + in-flight reclaimed on
+    /// completion) by memory-size transitions, across all hosts.
+    pub drained_instances: usize,
+}
 
 /// Everything a fleet run reports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +44,8 @@ pub struct FleetReport {
     pub max_latency_ms: f64,
     /// Observed horizon (arrival window plus completion drain), ms.
     pub horizon_ms: f64,
+    /// Present when the fleet ran with an embedded sizing service.
+    pub rightsizing: Option<RightsizingReport>,
 }
 
 impl FleetReport {
@@ -62,10 +81,44 @@ mod tests {
             expirations: 3,
             max_latency_ms: 812.5,
             horizon_ms: 10_000.0,
+            rightsizing: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: FleetReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!((report.mean_host_utilization() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rightsizing_section_round_trips_through_json() {
+        let counters = RightsizingCounters {
+            samples_ingested: 500,
+            recommendations: 3,
+            drift_reverts: 1,
+            resizes_applied: 4,
+            completed_at_original: 200,
+            completed_at_directed: 300,
+            sum_latency_original_ms: 10_000.0,
+            sum_latency_directed_ms: 9_000.0,
+            sum_cost_original_usd: 0.02,
+            sum_cost_directed_usd: 0.015,
+            exec_mb_ms_original: 2e6,
+            exec_mb_ms_directed: 1.5e6,
+        };
+        let section = RightsizingReport {
+            counters,
+            metrics: RightsizingMetrics::from_counters(&counters),
+            service: ServiceStats {
+                samples_ingested: 500,
+                stale_samples_ignored: 12,
+                recommendations: 3,
+                drift_checks: 2,
+                drift_detections: 1,
+            },
+            drained_instances: 9,
+        };
+        let json = serde_json::to_string(&section).unwrap();
+        let back: RightsizingReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, section);
     }
 }

@@ -8,10 +8,11 @@
 use crate::activation::Activation;
 use crate::matrix::Matrix;
 use crate::optimizer::{OptimizerKind, OptimizerState};
+use serde::{Deserialize, Serialize};
 use sizeless_engine::RngStream;
 
 /// A dense layer `a = act(x·W + b)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dense {
     weights: Matrix, // input_dim × output_dim
     bias: Vec<f64>,
@@ -184,7 +185,7 @@ mod tests {
     #[test]
     fn weight_gradients_match_finite_differences() {
         let mut r = rng();
-        let mut layer =
+        let layer =
             Dense::new(2, 2, Activation::Linear, OptimizerKind::Sgd { lr: 0.0 }, &mut r);
         let x = Matrix::from_rows(&[&[0.4, -0.3], &[1.2, 0.8]]);
         let t = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);

@@ -64,7 +64,11 @@ impl NetworkConfig {
 }
 
 /// A trained (or trainable) feed-forward network.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a trained model can ship as an artifact (see
+/// `sizeless_core`'s `TrainedSizer`): weights, optimizer state, and the
+/// training-loss history all round-trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NeuralNetwork {
     layers: Vec<Dense>,
     config: NetworkConfig,

@@ -218,6 +218,28 @@ impl WarmPool {
         }
     }
 
+    /// Evicts **every** idle instance at once, accruing their idle spans as
+    /// wasted time, and returns how many were reclaimed. In-flight
+    /// instances are left to finish (the caller stops reusing the pool).
+    ///
+    /// This is the memory-size-transition primitive: when a function is
+    /// redeployed at a new size, warm instances of the old size cannot
+    /// serve it — idle ones are reclaimed immediately and busy ones drain.
+    pub fn retire_idle(&mut self, now_ms: f64) -> usize {
+        self.reap(now_ms);
+        let mut reclaimed = 0;
+        for slot in &mut self.slots {
+            if slot.is_idle() {
+                self.wasted_idle_ms += now_ms - slot.last_release_ms;
+                slot.dead = true;
+                self.live -= 1;
+                self.evictions += 1;
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
     /// The release time of the least-recently released idle instance, if
     /// any — lets a host pick the globally best eviction victim.
     pub fn oldest_idle_release_ms(&mut self, now_ms: f64) -> Option<f64> {
@@ -386,6 +408,24 @@ mod tests {
         // The remaining warm instance is the one released at 300 ms.
         let (_c, cold) = pool.begin(400.0);
         assert!(!cold);
+    }
+
+    #[test]
+    fn retire_idle_reclaims_all_idle_but_leaves_busy() {
+        let mut pool = WarmPool::new(60_000.0);
+        let (a, _) = pool.begin(0.0);
+        let (b, _) = pool.begin(0.0);
+        let (_c, _) = pool.begin(0.0); // stays busy through the retirement
+        pool.complete(a, 100.0);
+        pool.complete(b, 200.0);
+        assert_eq!(pool.retire_idle(300.0), 2);
+        assert_eq!(pool.evictions(), 2);
+        assert_eq!(pool.in_flight(), 1);
+        assert_eq!(pool.live_at(300.0), 1);
+        // Wasted: (300-100) + (300-200) ms of idle time.
+        assert_eq!(pool.wasted_idle_ms(), 300.0);
+        // Nothing idle left: a second retirement is a no-op.
+        assert_eq!(pool.retire_idle(301.0), 0);
     }
 
     #[test]

@@ -109,6 +109,79 @@ impl FleetMetrics {
     }
 }
 
+/// Raw tallies of the closed-loop right-sizing path of a fleet run.
+///
+/// Completions are split by whether the invocation ran at the function's
+/// *original* deployed size or at a size the sizing service directed — the
+/// "before/after resize" view the closed-loop experiments report.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RightsizingCounters {
+    /// Monitoring samples forwarded to the sizing service.
+    pub samples_ingested: usize,
+    /// Resize directives issued from a filled measurement window.
+    pub recommendations: usize,
+    /// Drift-triggered revert-to-base directives.
+    pub drift_reverts: usize,
+    /// Directives whose target differed from the live size (memory
+    /// transitions actually applied to the fleet).
+    pub resizes_applied: usize,
+    /// Completions that ran at the function's original deployed size.
+    pub completed_at_original: usize,
+    /// Completions that ran at a service-directed size.
+    pub completed_at_directed: usize,
+    /// Sum of end-to-end latencies over original-size completions, ms.
+    pub sum_latency_original_ms: f64,
+    /// Sum of end-to-end latencies over directed-size completions, ms.
+    pub sum_latency_directed_ms: f64,
+    /// Sum of billed cost over original-size completions, USD.
+    pub sum_cost_original_usd: f64,
+    /// Sum of billed cost over directed-size completions, USD.
+    pub sum_cost_directed_usd: f64,
+    /// Execution memory-time of original-size completions, MB·ms.
+    pub exec_mb_ms_original: f64,
+    /// Execution memory-time of directed-size completions, MB·ms.
+    pub exec_mb_ms_directed: f64,
+}
+
+/// Before/after-resize rates derived from [`RightsizingCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RightsizingMetrics {
+    /// Mean latency of completions at the original size, ms.
+    pub mean_latency_original_ms: f64,
+    /// Mean latency of completions at a directed size, ms.
+    pub mean_latency_directed_ms: f64,
+    /// Mean billed cost per completion at the original size, USD.
+    pub mean_cost_original_usd: f64,
+    /// Mean billed cost per completion at a directed size, USD.
+    pub mean_cost_directed_usd: f64,
+    /// Execution memory-time per completion at the original size, MB·ms.
+    pub exec_mb_ms_per_completion_original: f64,
+    /// Execution memory-time per completion at a directed size, MB·ms.
+    pub exec_mb_ms_per_completion_directed: f64,
+}
+
+impl RightsizingMetrics {
+    /// Derives the before/after rates. Ratios with a zero denominator are
+    /// reported as 0.
+    pub fn from_counters(c: &RightsizingCounters) -> Self {
+        let ratio = |num: f64, den: usize| if den > 0 { num / den as f64 } else { 0.0 };
+        RightsizingMetrics {
+            mean_latency_original_ms: ratio(c.sum_latency_original_ms, c.completed_at_original),
+            mean_latency_directed_ms: ratio(c.sum_latency_directed_ms, c.completed_at_directed),
+            mean_cost_original_usd: ratio(c.sum_cost_original_usd, c.completed_at_original),
+            mean_cost_directed_usd: ratio(c.sum_cost_directed_usd, c.completed_at_directed),
+            exec_mb_ms_per_completion_original: ratio(
+                c.exec_mb_ms_original,
+                c.completed_at_original,
+            ),
+            exec_mb_ms_per_completion_directed: ratio(
+                c.exec_mb_ms_directed,
+                c.completed_at_directed,
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +236,34 @@ mod tests {
         assert_eq!(m.utilization, 0.0);
         assert_eq!(m.mean_latency_ms, 0.0);
         assert_eq!(m.resource_mb_ms_per_completion, 0.0);
+    }
+
+    #[test]
+    fn rightsizing_before_after_rates() {
+        let c = RightsizingCounters {
+            samples_ingested: 100,
+            recommendations: 2,
+            drift_reverts: 1,
+            resizes_applied: 3,
+            completed_at_original: 40,
+            completed_at_directed: 60,
+            sum_latency_original_ms: 4_000.0,
+            sum_latency_directed_ms: 3_000.0,
+            sum_cost_original_usd: 0.008,
+            sum_cost_directed_usd: 0.006,
+            exec_mb_ms_original: 400_000.0,
+            exec_mb_ms_directed: 300_000.0,
+        };
+        let m = RightsizingMetrics::from_counters(&c);
+        assert!((m.mean_latency_original_ms - 100.0).abs() < 1e-12);
+        assert!((m.mean_latency_directed_ms - 50.0).abs() < 1e-12);
+        assert!((m.mean_cost_original_usd - 2e-4).abs() < 1e-12);
+        assert!((m.mean_cost_directed_usd - 1e-4).abs() < 1e-12);
+        assert!((m.exec_mb_ms_per_completion_original - 10_000.0).abs() < 1e-12);
+        assert!((m.exec_mb_ms_per_completion_directed - 5_000.0).abs() < 1e-12);
+        // Zero denominators stay zero.
+        let empty = RightsizingMetrics::from_counters(&RightsizingCounters::default());
+        assert_eq!(empty.mean_latency_original_ms, 0.0);
+        assert_eq!(empty.exec_mb_ms_per_completion_directed, 0.0);
     }
 }

@@ -20,7 +20,12 @@
 //! * [`stability`] — the Figure-3 analysis: per-metric Mann–Whitney tests of
 //!   prefix windows against the full measurement.
 //! * [`fleet`] — cluster-level metrics ([`FleetCounters`]/[`FleetMetrics`]):
-//!   cold-start rate, throttle rate, host utilization, wasted memory-time.
+//!   cold-start rate, throttle rate, host utilization, wasted memory-time;
+//!   plus the before/after-resize split ([`RightsizingCounters`]) of the
+//!   closed-loop right-sizing experiments.
+//! * [`window`] — [`StreamingWindow`]: the bounded,
+//!   incrementally-maintained monitoring window of the online sizing
+//!   service, bit-identical in aggregation to the batch [`MetricVector`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +35,11 @@ pub mod fleet;
 pub mod metric;
 pub mod monitor;
 pub mod stability;
+pub mod window;
 
 pub use aggregate::{MetricAggregate, MetricVector};
-pub use fleet::{FleetCounters, FleetMetrics};
+pub use fleet::{FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics};
 pub use metric::{Metric, METRIC_COUNT};
 pub use monitor::{InvocationSample, MetricStore, ResourceMonitor};
 pub use stability::{StabilityAnalysis, StabilityConfig};
+pub use window::StreamingWindow;

@@ -112,18 +112,43 @@ impl MetricStore {
         self.samples.is_empty()
     }
 
+    /// Drops all recorded samples, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
     /// The values of one metric across all samples, in arrival order.
     pub fn series(&self, metric: Metric) -> Vec<f64> {
-        self.samples.iter().map(|s| s.value(metric)).collect()
+        let mut out = Vec::new();
+        self.series_into(metric, &mut out);
+        out
+    }
+
+    /// [`MetricStore::series`] into a caller-owned buffer (cleared first) —
+    /// the drift detector calls this once per watched metric per check, so
+    /// reusing one buffer across the loop avoids an allocation per metric.
+    pub fn series_into(&self, metric: Metric, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.samples.iter().map(|s| s.value(metric)));
     }
 
     /// The values of one metric for samples arriving before `cutoff_ms`.
     pub fn series_until(&self, metric: Metric, cutoff_ms: f64) -> Vec<f64> {
-        self.samples
-            .iter()
-            .filter(|s| s.at_ms < cutoff_ms)
-            .map(|s| s.value(metric))
-            .collect()
+        let mut out = Vec::new();
+        self.series_until_into(metric, cutoff_ms, &mut out);
+        out
+    }
+
+    /// [`MetricStore::series_until`] into a caller-owned buffer (cleared
+    /// first).
+    pub fn series_until_into(&self, metric: Metric, cutoff_ms: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.samples
+                .iter()
+                .filter(|s| s.at_ms < cutoff_ms)
+                .map(|s| s.value(metric)),
+        );
     }
 
     /// Samples arriving before `cutoff_ms`.
@@ -222,6 +247,31 @@ mod tests {
         assert_eq!(store.series(Metric::ExecutionTime).len(), 10);
         assert_eq!(store.series_until(Metric::ExecutionTime, 500.0).len(), 5);
         assert_eq!(store.window(250.0).count(), 3);
+    }
+
+    #[test]
+    fn series_into_reuses_and_matches_allocating_variants() {
+        let m = ResourceMonitor::new();
+        let mut rng = RngStream::from_seed(7, "mon7");
+        let store: MetricStore = (0..8)
+            .map(|i| m.observe(i as f64 * 100.0, &usage(), &mut rng))
+            .collect();
+        let mut buf = vec![f64::NAN; 3]; // stale content must be cleared
+        store.series_into(Metric::HeapUsed, &mut buf);
+        assert_eq!(buf, store.series(Metric::HeapUsed));
+        store.series_until_into(Metric::HeapUsed, 350.0, &mut buf);
+        assert_eq!(buf, store.series_until(Metric::HeapUsed, 350.0));
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let m = ResourceMonitor::new();
+        let mut rng = RngStream::from_seed(8, "mon8");
+        let mut store: MetricStore = (0..3).map(|i| m.observe(i as f64, &usage(), &mut rng)).collect();
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
     }
 
     #[test]

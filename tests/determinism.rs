@@ -7,9 +7,12 @@
 
 use sizeless::core::dataset::{DatasetConfig, TrainingDataset};
 use sizeless::core::pipeline::{PipelineConfig, SizelessPipeline};
+use sizeless::core::service::{ServiceConfig, SizingService};
+use sizeless::core::trainer::{Trainer, TrainerConfig};
 use sizeless::engine::RngStream;
 use sizeless::fleet::{
-    run_fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind, SchedulerKind,
+    run_fleet, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind,
+    SchedulerKind,
 };
 use sizeless::neural::NetworkConfig;
 use sizeless::platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
@@ -142,6 +145,100 @@ fn seeded_fleet_runs_are_bit_identical() {
         KeepAliveKind::Adaptive,
     );
     assert_ne!(a.counters.submitted, c.counters.submitted);
+}
+
+/// The closed loop end to end — offline training (dataset measurement
+/// fanned out over worker threads) feeding an online `SizingService`
+/// embedded in a fleet that applies its resize directives — must be
+/// **bit-identical** across thread counts and across repeated runs. Pinned
+/// at dataset-measurement threads ∈ {1, 4}: every other stage (training,
+/// the service, the fleet's event loop) is single-threaded by construction,
+/// so the measurement fan-out is where thread-count nondeterminism would
+/// enter.
+#[test]
+fn closed_loop_fleet_is_bit_identical_across_thread_counts() {
+    let platform = Platform::aws_like();
+
+    let sizer_with_threads = |threads: usize| {
+        let mut dataset = DatasetConfig::tiny(16);
+        dataset.seed = 13;
+        dataset.threads = threads;
+        let cfg = TrainerConfig {
+            dataset,
+            network: NetworkConfig {
+                hidden_layers: 1,
+                neurons: 16,
+                epochs: 25,
+                ..NetworkConfig::default()
+            },
+            seed: 13,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg).train(&platform).expect("trainable")
+    };
+
+    let functions = vec![
+        FleetFunction::new(
+            FunctionConfig::new(
+                ResourceProfile::builder("loop-io")
+                    .stage(Stage::file_io("io", 384.0, 96.0))
+                    .build(),
+                MemorySize::MB_256,
+            ),
+            FleetArrival::Steady(ArrivalProcess::poisson(18.0)),
+        ),
+        FleetFunction::new(
+            FunctionConfig::new(
+                ResourceProfile::builder("loop-cpu")
+                    .stage(Stage::cpu("work", 70.0))
+                    .init_cpu_ms(120.0)
+                    .build(),
+                MemorySize::MB_256,
+            ),
+            FleetArrival::Bursty(BurstyArrival::new(3.0, 30.0, 5_000.0, 1_500.0)),
+        ),
+    ];
+    let config = FleetConfig::new(3, 4096.0, 20_000.0, 17);
+    let run = |threads: usize| {
+        run_rightsized_fleet(
+            &platform,
+            &config,
+            &functions,
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::Adaptive,
+            SizingService::new(
+                sizer_with_threads(threads),
+                ServiceConfig {
+                    window: 50,
+                    ..ServiceConfig::default()
+                },
+            ),
+        )
+    };
+
+    let serial = run(1);
+    let threaded = run(4);
+    assert_eq!(
+        serial, threaded,
+        "closed-loop fleet diverged across dataset-measurement thread counts"
+    );
+    assert_eq!(serial, run(1), "closed-loop fleet diverged across repeat runs");
+
+    // The run must exercise the loop, not just pass vacuously.
+    let rs = serial.rightsizing.as_ref().expect("rightsizing section");
+    assert!(serial.counters.completed > 0);
+    assert!(rs.service.recommendations > 0, "no window ever filled");
+    assert_eq!(rs.counters.samples_ingested, serial.counters.completed);
+    // Derived floats agree bit-for-bit, not just approximately.
+    let t = threaded.rightsizing.as_ref().unwrap();
+    assert_eq!(
+        rs.metrics.exec_mb_ms_per_completion_original.to_bits(),
+        t.metrics.exec_mb_ms_per_completion_original.to_bits()
+    );
+    assert_eq!(
+        rs.metrics.exec_mb_ms_per_completion_directed.to_bits(),
+        t.metrics.exec_mb_ms_per_completion_directed.to_bits()
+    );
 }
 
 /// The raw stream layer itself: same seed + label → identical draws, and
