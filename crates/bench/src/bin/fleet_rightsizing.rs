@@ -27,7 +27,7 @@
 use serde::Serialize;
 use sizeless_bench::{pct, print_table, ExperimentContext};
 use sizeless_core::service::{ServiceConfig, SizingService};
-use sizeless_core::trainer::{Trainer, TrainerConfig};
+use sizeless_core::trainer::TrainerConfig;
 use sizeless_fleet::{
     run_fleet, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction, FleetReport,
     KeepAliveKind, SchedulerKind,
@@ -168,18 +168,18 @@ fn main() {
     dataset_cfg.function_count = dataset_cfg.function_count.max(400);
     let mut network_cfg = ctx.network_config();
     network_cfg.epochs = network_cfg.epochs.max(120);
-    let dataset = ctx.dataset_with(&platform, &dataset_cfg);
-    let trainer = Trainer::new(TrainerConfig {
-        dataset: dataset_cfg,
-        network: network_cfg,
-        base_size: BASE,
-        seed: ctx.seed,
-        ..TrainerConfig::default()
-    });
-    eprintln!("[train] offline phase: base {BASE}, t = 0.75 ...");
-    let sizer = trainer
-        .train_from_dataset(&platform, &dataset)
-        .expect("dataset large enough");
+    // `--artifact` reuses a persisted artifact (rejecting configuration
+    // mismatches) instead of re-running the offline phase every time.
+    let sizer = ctx.trained_sizer(
+        &platform,
+        &TrainerConfig {
+            dataset: dataset_cfg,
+            network: network_cfg,
+            base_size: BASE,
+            seed: ctx.seed,
+            ..TrainerConfig::default()
+        },
+    );
 
     let service_cfg = ServiceConfig::default();
     let mut rows: Vec<RunResult> = Vec::new();

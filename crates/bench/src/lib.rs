@@ -11,7 +11,11 @@
 //!   fan-outs (default: the `SIZELESS_THREADS` environment variable if
 //!   set, else the machine's available parallelism). Results are
 //!   bit-identical for every thread count — the knob trades wall-clock
-//!   time only.
+//!   time only;
+//! * `--artifact <path>` — persist the trained sizer artifact and reuse it
+//!   on later runs; artifacts are versioned against the training
+//!   configuration ([`TrainerConfig::artifact_hash`]) and a mismatch is a
+//!   hard error, never a silent retrain.
 //!
 //! Binaries print paper-style tables to stdout and persist JSON into the
 //! results directory so `EXPERIMENTS.md` numbers are regenerable.
@@ -21,8 +25,10 @@
 
 use serde::Serialize;
 use sizeless_core::dataset::{DatasetConfig, TrainingDataset};
+use sizeless_core::error::CoreError;
 use sizeless_core::features::FeatureSet;
 use sizeless_core::model::SizelessModel;
+use sizeless_core::trainer::{TrainedSizer, Trainer, TrainerConfig};
 use sizeless_neural::NetworkConfig;
 use sizeless_platform::{MemorySize, Platform};
 use std::path::{Path, PathBuf};
@@ -38,6 +44,8 @@ pub struct ExperimentContext {
     pub out_dir: PathBuf,
     /// Worker threads (`0` = auto: `SIZELESS_THREADS` or all cores).
     pub threads: usize,
+    /// Trained-artifact file to reuse/persist across runs, if given.
+    pub artifact: Option<PathBuf>,
 }
 
 /// The `--help` text shared by every experiment binary.
@@ -51,6 +59,11 @@ Shared experiment flags:
                      fan-outs; results are bit-identical for
                      every thread count                         (default: SIZELESS_THREADS
                                                                 or all cores)
+  --artifact <path>  persist the trained sizer artifact to this
+                     file and reuse it on later runs; artifacts
+                     are versioned against the training
+                     configuration and a mismatch is a hard
+                     error                                      (default: retrain per run)
   --help, -h         print this help and exit";
 
 /// How argument parsing ended when it did not produce a context.
@@ -63,8 +76,8 @@ pub enum ArgsError {
 }
 
 impl ExperimentContext {
-    /// Parses `--seed`, `--scale`, `--out`, and `--threads` from
-    /// `std::env::args`. Unknown or malformed flags print a clear error
+    /// Parses `--seed`, `--scale`, `--out`, `--threads`, and `--artifact`
+    /// from `std::env::args`. Unknown or malformed flags print a clear error
     /// plus the shared [`USAGE`] text and exit non-zero; `--help` prints
     /// the usage and exits zero.
     pub fn from_args() -> Self {
@@ -95,6 +108,7 @@ impl ExperimentContext {
             scale: 5.0,
             out_dir: PathBuf::from("results"),
             threads: 0,
+            artifact: None,
         };
         let mut args = args.into_iter();
         while let Some(flag) = args.next() {
@@ -127,6 +141,9 @@ impl ExperimentContext {
                 "--out" => {
                     ctx.out_dir = PathBuf::from(value("--out")?);
                 }
+                "--artifact" => {
+                    ctx.artifact = Some(PathBuf::from(value("--artifact")?));
+                }
                 "--threads" => {
                     let v = value("--threads")?;
                     ctx.threads = v.parse().map_err(|_| {
@@ -140,7 +157,7 @@ impl ExperimentContext {
                 }
                 other => {
                     return Err(ArgsError::Invalid(format!(
-                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads)"
+                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads/--artifact)"
                     )));
                 }
             }
@@ -218,6 +235,48 @@ impl ExperimentContext {
         std::fs::create_dir_all(&self.out_dir).expect("create results dir");
         ds.save(&cache).expect("cache dataset");
         ds
+    }
+
+    /// The trained artifact for `config`, honoring `--artifact`: when the
+    /// flag names an existing file, the artifact is loaded and verified
+    /// against [`TrainerConfig::artifact_hash`] — a mismatch (the file was
+    /// trained under different dataset/network/seed settings) is a hard
+    /// error with a clear message, never a silent retrain. Otherwise the
+    /// offline phase runs (through the shared dataset cache) and, if
+    /// `--artifact` was given, the result is persisted for the next run.
+    pub fn trained_sizer(&self, platform: &Platform, config: &TrainerConfig) -> TrainedSizer {
+        let expected = config.artifact_hash();
+        if let Some(path) = &self.artifact {
+            if path.exists() {
+                match TrainedSizer::load_expecting(path, expected) {
+                    Ok(sizer) => {
+                        eprintln!("[artifact] loaded {}", path.display());
+                        return sizer;
+                    }
+                    Err(e @ CoreError::ArtifactMismatch { .. }) => {
+                        eprintln!("error: --artifact {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!("error: --artifact {} is unreadable: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        let dataset = self.dataset_with(platform, &config.dataset);
+        eprintln!("[train] offline phase: base {}, {} fns ...", config.base_size, dataset.len());
+        let sizer = Trainer::new(*config)
+            .train_from_dataset(platform, &dataset)
+            .expect("dataset large enough");
+        if let Some(path) = &self.artifact {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create artifact dir");
+            }
+            sizer.save(path).expect("write artifact");
+            eprintln!("[artifact] wrote {}", path.display());
+        }
+        sizer
     }
 
     /// Trains the F4 model for a base size.
@@ -346,6 +405,7 @@ mod tests {
             scale: 10.0,
             out_dir: PathBuf::from("/tmp"),
             threads: 0,
+            artifact: None,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 200);
@@ -359,6 +419,7 @@ mod tests {
             scale: 1.0,
             out_dir: PathBuf::from("/tmp"),
             threads: 0,
+            artifact: None,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 2000);
@@ -378,13 +439,15 @@ mod tests {
     #[test]
     fn parse_accepts_all_shared_flags() {
         let ctx = parse(&[
-            "--seed", "7", "--scale", "2.5", "--out", "/tmp/x", "--threads", "3",
+            "--seed", "7", "--scale", "2.5", "--out", "/tmp/x", "--threads", "3", "--artifact",
+            "/tmp/x/sizer.json",
         ])
         .unwrap();
         assert_eq!(ctx.seed, 7);
         assert_eq!(ctx.scale, 2.5);
         assert_eq!(ctx.out_dir, PathBuf::from("/tmp/x"));
         assert_eq!(ctx.threads, 3);
+        assert_eq!(ctx.artifact, Some(PathBuf::from("/tmp/x/sizer.json")));
     }
 
     #[test]
@@ -394,6 +457,7 @@ mod tests {
         assert_eq!(ctx.scale, 5.0);
         assert_eq!(ctx.out_dir, PathBuf::from("results"));
         assert_eq!(ctx.threads, 0);
+        assert_eq!(ctx.artifact, None);
     }
 
     #[test]
@@ -415,6 +479,8 @@ mod tests {
         // A following flag must not be swallowed as the value.
         assert!(matches!(parse(&["--out", "--seed"]), Err(ArgsError::Invalid(_))));
         assert!(matches!(parse(&["--seed", "--scale", "2"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--artifact"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--artifact", "--seed"]), Err(ArgsError::Invalid(_))));
     }
 
     #[test]

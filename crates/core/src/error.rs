@@ -18,6 +18,14 @@ pub enum CoreError {
     Serialization(serde_json::Error),
     /// Reading or writing a dataset file failed.
     Io(std::io::Error),
+    /// A persisted artifact was trained under a different configuration
+    /// than the one it is being loaded for.
+    ArtifactMismatch {
+        /// Config hash the caller expects (see `TrainerConfig::artifact_hash`).
+        expected: u64,
+        /// Config hash stored in the artifact.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +36,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::Serialization(e) => write!(f, "dataset serialization failed: {e}"),
             CoreError::Io(e) => write!(f, "dataset file access failed: {e}"),
+            CoreError::ArtifactMismatch { expected, found } => write!(
+                f,
+                "artifact was trained under a different configuration \
+                 (stored config hash {found:#018x}, expected {expected:#018x}); \
+                 retrain it or point --artifact at a matching file"
+            ),
         }
     }
 }

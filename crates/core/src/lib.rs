@@ -17,12 +17,16 @@
 //!    (Section 3.5) to recommend a size.
 //!
 //! The two phases are first-class objects: [`trainer`] runs the offline
-//! phase and produces a serializable [`TrainedSizer`] artifact; [`service`]
-//! is the *online* loop — a [`SizingService`] that ingests per-invocation
-//! telemetry incrementally, aggregates streaming windows (bit-identical to
-//! the batch aggregation), caches recommendations, and uses [`drift`] to
-//! decide when a function must be re-recommended. [`pipeline`] keeps the
-//! original one-shot batch façade on top of the split.
+//! phase and produces a serializable, **versioned** [`TrainedSizer`]
+//! artifact; [`service`] is the *online* loop as a layered control plane —
+//! a [`ControlPlane`] owns the shared artifact (optionally fine-tuning it
+//! from post-resize observations via an [`AdaptationPolicy`]) and serves
+//! per-region [`SizingService`] handles that ingest per-invocation
+//! telemetry incrementally, aggregate streaming windows (bit-identical to
+//! the batch aggregation), cache recommendations, and use [`drift`] plus a
+//! [`RemeasurePolicy`] (full revert or shadow sampling) to decide when and
+//! how a function must be re-measured and re-recommended. [`pipeline`]
+//! keeps the original one-shot batch façade on top of the split.
 //!
 //! # Examples
 //!
@@ -62,12 +66,14 @@ pub use drift::{detect_drift, DriftConfig, DriftReport};
 pub use export::export_csv;
 pub use features::{FeatureDef, FeatureKind, FeatureSet};
 pub use interpolate::{optimize_full_grid, TimeInterpolant};
-pub use model::{PredictedTimes, SizelessModel};
+pub use model::{OnlineObservation, PredictedTimes, SizelessModel};
 pub use optimizer::{MemoryOptimizer, OptimizationOutcome, Tradeoff};
 pub use pipeline::{PipelineConfig, SizelessPipeline};
 pub use report::render_report;
 pub use service::{
-    DirectiveReason, FnPhase, Recommendation, ServiceConfig, ServiceStats, SizingDirective,
+    AdaptationKind, AdaptationPolicy, ControlPlane, DirectiveReason, FineTune, FineTuneConfig,
+    FnPhase, Frozen, FullRevert, PlaneStats, Recommendation, RemeasureAction, RemeasureKind,
+    RemeasurePolicy, RouteDecision, ServiceConfig, ServiceStats, ShadowSampling, SizingDirective,
     SizingService,
 };
 pub use trainer::{TrainedSizer, Trainer, TrainerConfig};

@@ -51,6 +51,21 @@ impl PredictedTimes {
     }
 }
 
+/// One post-resize observation the online control plane feeds back into
+/// the model: the base-size monitoring window a recommendation was made
+/// from, the size the service directed, and the mean execution time then
+/// observed at that size — i.e. a single labeled `(features, ratio)` pair
+/// for [`SizelessModel::fine_tune_online`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineObservation {
+    /// Aggregate of the base-size window the recommendation consumed.
+    pub metrics: MetricVector,
+    /// The size the service directed the function to.
+    pub directed: MemorySize,
+    /// Mean execution time observed at the directed size, ms.
+    pub observed_ms: f64,
+}
+
 /// The target sizes for a base size: the five other standard sizes.
 pub fn target_sizes(base: MemorySize) -> Vec<MemorySize> {
     MemorySize::STANDARD
@@ -130,6 +145,64 @@ impl SizelessModel {
             .into_iter()
             .map(|r| r.max(0.01))
             .collect()
+    }
+
+    /// Fine-tunes the model on online observations: for each one, the
+    /// feature row is extracted from the base-size window the
+    /// recommendation was made from, and the prediction target for the
+    /// *directed* size is replaced by the ratio actually observed after the
+    /// resize (the remaining targets keep the model's own predictions, so
+    /// only the corrected output moves). One call is one fine-tuning
+    /// *round* — see [`sizeless_neural::NeuralNetwork::fine_tune_with`] for
+    /// the determinism contract; `frozen_layers` early layers stay fixed
+    /// (the paper's transfer-learning proposal).
+    ///
+    /// Observations whose directed size equals the base, or whose base
+    /// window has a non-positive mean execution time, carry no ratio signal
+    /// and are skipped. Returns the number of rows trained on.
+    pub fn fine_tune_online(
+        &mut self,
+        observations: &[OnlineObservation],
+        frozen_layers: usize,
+        epochs: usize,
+        round: u64,
+        scratch: &mut sizeless_neural::Scratch,
+    ) -> usize {
+        let targets = target_sizes(self.base);
+        let dim = self.feature_set.dim();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rows = 0;
+        for obs in observations {
+            let Some(target_idx) = targets.iter().position(|&t| t == obs.directed) else {
+                continue; // directed == base (or not a standard size)
+            };
+            let base_ms = obs.metrics.mean_execution_time_ms();
+            if !base_ms.is_finite() || base_ms <= 0.0 || !obs.observed_ms.is_finite() || obs.observed_ms <= 0.0 {
+                continue;
+            }
+            let raw = self.feature_set.extract(&obs.metrics);
+            let scaled = self.scaler.transform_row(&raw);
+            debug_assert_eq!(scaled.len(), dim);
+            let mut ratios: Vec<f64> = self
+                .network
+                .predict_one(&scaled)
+                .into_iter()
+                .map(|r| r.max(0.01))
+                .collect();
+            ratios[target_idx] = (obs.observed_ms / base_ms).max(0.01);
+            x.extend(scaled);
+            y.extend(ratios);
+            rows += 1;
+        }
+        if rows == 0 {
+            return 0;
+        }
+        let x = Matrix::from_vec(rows, dim, x);
+        let y = Matrix::from_vec(rows, targets.len(), y);
+        let frozen = frozen_layers.min(self.network.layer_count() - 1);
+        self.network.fine_tune_with(&x, &y, frozen, epochs, round, scratch);
+        rows
     }
 
     /// Predicts absolute execution times for all six sizes. The base size
@@ -363,6 +436,56 @@ mod tests {
         assert!(report.mape.is_finite() && report.mape > 0.0);
         assert!(report.r_squared <= 1.0);
         assert!(report.explained_variance <= 1.0);
+    }
+
+    #[test]
+    fn fine_tune_online_moves_the_corrected_target_toward_the_observation() {
+        let ds = dataset();
+        let mut model =
+            SizelessModel::train(&ds, MemorySize::MB_256, FeatureSet::F4, &quick_net(), 7)
+                .unwrap();
+        let record = &ds.records[0];
+        let metrics = record.metrics_at(MemorySize::MB_256).clone();
+        let before = model.predict(&metrics);
+        let base_ms = metrics.mean_execution_time_ms();
+        // Pretend production observed 1024 MB running at exactly base speed
+        // (ratio 1.0) while the model predicts something else.
+        let observed_ms = base_ms;
+        let obs = vec![OnlineObservation {
+            metrics: metrics.clone(),
+            directed: MemorySize::MB_1024,
+            observed_ms,
+        }];
+        let mut scratch = sizeless_neural::Scratch::new();
+        let mut tuned = model.clone();
+        let rows = tuned.fine_tune_online(&obs, 1, 40, 0, &mut scratch);
+        assert_eq!(rows, 1);
+        let after = tuned.predict(&metrics);
+        let err_before = (before.time_ms(MemorySize::MB_1024) - observed_ms).abs();
+        let err_after = (after.time_ms(MemorySize::MB_1024) - observed_ms).abs();
+        assert!(
+            err_after < err_before,
+            "fine-tuning must move the corrected target: {err_before:.4} -> {err_after:.4}"
+        );
+
+        // Determinism: the same observations tune bit-identically.
+        let mut again = model.clone();
+        again.fine_tune_online(&obs, 1, 40, 0, &mut sizeless_neural::Scratch::new());
+        assert_eq!(tuned, again);
+
+        // Observations at the base size carry no signal and are skipped.
+        let skipped = model.fine_tune_online(
+            &[OnlineObservation {
+                metrics,
+                directed: MemorySize::MB_256,
+                observed_ms,
+            }],
+            1,
+            10,
+            0,
+            &mut scratch,
+        );
+        assert_eq!(skipped, 0);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! The sizing control plane: one shared artifact, many serving handles.
+//!
+//! A [`ControlPlane`] owns the [`TrainedSizer`] plus the
+//! [`AdaptationPolicy`] that may update it online, and hands out any number
+//! of per-region [`SizingService`] handles that all decide against — and,
+//! under [`FineTune`](super::FineTune), learn into — the *same* artifact.
+//! The plane is a cheap reference-counted handle; cloning it (or creating
+//! services from it) shares state rather than copying it, which is the
+//! whole point: an observation from one region improves recommendations in
+//! every region.
+//!
+//! Everything is single-threaded by design — the fleet simulators drive
+//! their regions through one merged deterministic event loop — so the
+//! shared state is an `Rc<RefCell<..>>`, not a lock.
+
+use super::adaptation::{AdaptationPolicy, Frozen};
+use super::remeasure::RemeasurePolicy;
+use super::{Recommendation, ServiceConfig, SizingService};
+use crate::model::OnlineObservation;
+use crate::trainer::TrainedSizer;
+use serde::{Deserialize, Serialize};
+use sizeless_platform::MemorySize;
+use sizeless_telemetry::MetricVector;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Activity tallies of a control plane, serializable for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlaneStats {
+    /// Service handles created from this plane.
+    pub handles: usize,
+    /// Recommendations served across all handles.
+    pub recommendations: usize,
+    /// Post-resize observations fed to the adaptation policy.
+    pub observations: usize,
+    /// Fine-tuning rounds that actually updated the artifact.
+    pub artifact_updates: usize,
+}
+
+/// The mutable state every handle of one plane shares.
+#[derive(Debug)]
+pub(super) struct PlaneState {
+    sizer: TrainedSizer,
+    adaptation: Box<dyn AdaptationPolicy>,
+    stats: PlaneStats,
+}
+
+/// A shared handle to the plane state — what a [`SizingService`] holds.
+#[derive(Debug, Clone)]
+pub(crate) struct PlaneHandle {
+    state: Rc<RefCell<PlaneState>>,
+    /// The artifact's base size, cached: it never changes (fine-tuning
+    /// retrains weights, not the base), and the dispatch path asks for it
+    /// constantly.
+    base: MemorySize,
+}
+
+impl PlaneHandle {
+    pub(super) fn base(&self) -> MemorySize {
+        self.base
+    }
+
+    /// Serves one recommendation from the current artifact.
+    pub(super) fn recommend(&self, metrics: &MetricVector) -> Recommendation {
+        let mut state = self.state.borrow_mut();
+        state.stats.recommendations += 1;
+        state.sizer.recommend(metrics)
+    }
+
+    /// A clone of the artifact as it stands right now.
+    pub(super) fn sizer_snapshot(&self) -> TrainedSizer {
+        self.state.borrow().sizer.clone()
+    }
+
+    /// Routes one post-resize observation to the adaptation policy.
+    pub(super) fn observe(&self, observation: OnlineObservation) {
+        let mut state = self.state.borrow_mut();
+        let PlaneState {
+            sizer,
+            adaptation,
+            stats,
+        } = &mut *state;
+        stats.observations += 1;
+        if adaptation.observe(sizer, observation) {
+            stats.artifact_updates += 1;
+        }
+    }
+}
+
+/// The sizing control plane — see the [module docs](self).
+///
+/// # Examples
+///
+/// Two regional services sharing one artifact:
+///
+/// ```no_run
+/// use sizeless_core::service::{ControlPlane, FineTune, FullRevert, ServiceConfig, ShadowSampling};
+/// use sizeless_core::trainer::{Trainer, TrainerConfig};
+/// use sizeless_platform::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::aws_like();
+/// let sizer = Trainer::new(TrainerConfig::default()).train(&platform)?;
+///
+/// // The plane owns the artifact and adapts it online via fine-tuning.
+/// let plane = ControlPlane::new(sizer, Box::new(FineTune::default()));
+///
+/// // Each region gets its own handle (and its own re-measurement policy);
+/// // both serve — and improve — the same artifact.
+/// let mut us_east = plane.handle(ServiceConfig::default(), Box::new(FullRevert));
+/// let mut eu_west = plane.handle(ServiceConfig::default(), Box::new(ShadowSampling::new(0.125)));
+/// assert_eq!(us_east.base(), eu_west.base());
+/// assert_eq!(plane.stats().handles, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    inner: PlaneHandle,
+}
+
+impl ControlPlane {
+    /// A plane owning `sizer`, adapting it with `adaptation`.
+    pub fn new(sizer: TrainedSizer, adaptation: Box<dyn AdaptationPolicy>) -> Self {
+        let base = sizer.base();
+        ControlPlane {
+            inner: PlaneHandle {
+                state: Rc::new(RefCell::new(PlaneState {
+                    sizer,
+                    adaptation,
+                    stats: PlaneStats::default(),
+                })),
+                base,
+            },
+        }
+    }
+
+    /// A plane whose artifact never changes — the paper's loop.
+    pub fn frozen(sizer: TrainedSizer) -> Self {
+        Self::new(sizer, Box::new(Frozen))
+    }
+
+    /// Creates a serving handle: a [`SizingService`] with its own
+    /// per-function state and re-measurement policy, deciding against this
+    /// plane's shared artifact.
+    pub fn handle(
+        &self,
+        config: ServiceConfig,
+        remeasure: Box<dyn RemeasurePolicy>,
+    ) -> SizingService {
+        self.inner.state.borrow_mut().stats.handles += 1;
+        SizingService::from_plane(self.inner.clone(), config, remeasure)
+    }
+
+    /// The artifact's base memory size.
+    pub fn base(&self) -> MemorySize {
+        self.inner.base
+    }
+
+    /// The adaptation policy's display name.
+    pub fn adaptation_name(&self) -> &'static str {
+        self.inner.state.borrow().adaptation.name()
+    }
+
+    /// Activity tallies so far.
+    pub fn stats(&self) -> PlaneStats {
+        self.inner.state.borrow().stats
+    }
+
+    /// A snapshot of the artifact as it stands right now (a clone: under a
+    /// fine-tuning policy the live artifact keeps moving).
+    pub fn sizer_snapshot(&self) -> TrainedSizer {
+        self.inner.state.borrow().sizer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::adaptation::{FineTune, FineTuneConfig};
+    use super::super::remeasure::FullRevert;
+    use super::*;
+    use crate::dataset::{DatasetConfig, TrainingDataset};
+    use crate::trainer::{Trainer, TrainerConfig};
+    use sizeless_neural::NetworkConfig;
+    use sizeless_platform::Platform;
+
+    fn quick_sizer() -> TrainedSizer {
+        let cfg = TrainerConfig {
+            dataset: DatasetConfig::tiny(24),
+            network: NetworkConfig {
+                hidden_layers: 1,
+                neurons: 16,
+                epochs: 30,
+                l2: 0.0001,
+                ..NetworkConfig::default()
+            },
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg).train(&Platform::aws_like()).unwrap()
+    }
+
+    #[test]
+    fn handles_share_one_artifact() {
+        let sizer = quick_sizer();
+        let plane = ControlPlane::new(
+            sizer.clone(),
+            Box::new(FineTune::new(FineTuneConfig {
+                batch: 1,
+                epochs: 5,
+                frozen_layers: 1,
+            })),
+        );
+        let a = plane.handle(ServiceConfig::default(), Box::new(FullRevert));
+        let _b = plane.handle(ServiceConfig::default(), Box::new(FullRevert));
+        assert_eq!(plane.stats().handles, 2);
+        assert_eq!(plane.base(), sizer.base());
+        assert_eq!(plane.adaptation_name(), "fine-tune");
+
+        // An observation through one handle's plane updates the snapshot
+        // every handle sees.
+        let dataset =
+            TrainingDataset::generate(&Platform::aws_like(), &DatasetConfig::tiny(12));
+        let metrics = dataset.records[0].metrics_at(plane.base()).clone();
+        let observed_ms = metrics.mean_execution_time_ms();
+        a.plane().observe(OnlineObservation {
+            metrics,
+            directed: sizeless_platform::MemorySize::MB_1024,
+            observed_ms,
+        });
+        let stats = plane.stats();
+        assert_eq!(stats.observations, 1);
+        assert_eq!(stats.artifact_updates, 1);
+        assert_ne!(plane.sizer_snapshot(), sizer, "artifact adapted in place");
+    }
+
+    #[test]
+    fn frozen_plane_serves_recommendations_without_moving() {
+        let sizer = quick_sizer();
+        let plane = ControlPlane::frozen(sizer.clone());
+        assert_eq!(plane.adaptation_name(), "frozen");
+        let svc = plane.handle(ServiceConfig::default(), Box::new(FullRevert));
+        let dataset =
+            TrainingDataset::generate(&Platform::aws_like(), &DatasetConfig::tiny(12));
+        let metrics = dataset.records[0].metrics_at(plane.base());
+        let rec = svc.plane().recommend(metrics);
+        assert_eq!(rec, sizer.recommend(metrics));
+        assert_eq!(plane.stats().recommendations, 1);
+        assert_eq!(plane.sizer_snapshot(), sizer);
+    }
+}

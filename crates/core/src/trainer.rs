@@ -56,6 +56,27 @@ impl Default for TrainerConfig {
     }
 }
 
+impl TrainerConfig {
+    /// A stable hash of everything that determines the trained artifact:
+    /// dataset shape and seeds, network hyperparameters, feature set, base
+    /// size, tradeoff, and training seed. Worker-thread counts are
+    /// normalized out — the measurement fan-out is bit-identical for every
+    /// thread count, so `--threads` must not invalidate artifacts.
+    ///
+    /// [`TrainedSizer::save`] embeds this hash and
+    /// [`TrainedSizer::load_expecting`] rejects artifacts whose hash
+    /// differs, so a persisted artifact can never silently be reused under
+    /// a configuration it was not trained for.
+    pub fn artifact_hash(&self) -> u64 {
+        let mut canonical = *self;
+        canonical.dataset.threads = 0;
+        let json = serde_json::to_string(&canonical).expect("config serializes");
+        // FNV-1a (the engine's stream-labeling hash): stable across
+        // platforms and runs, no hasher state to seed.
+        sizeless_engine::fnv1a(&json)
+    }
+}
+
 /// The offline phase: dataset generation + model training.
 #[derive(Debug, Clone)]
 pub struct Trainer {
@@ -107,6 +128,7 @@ impl Trainer {
         Ok(TrainedSizer {
             model,
             optimizer: MemoryOptimizer::new(*platform.pricing(), self.config.tradeoff),
+            config_hash: self.config.artifact_hash(),
         })
     }
 }
@@ -122,17 +144,41 @@ impl Trainer {
 pub struct TrainedSizer {
     model: SizelessModel,
     optimizer: MemoryOptimizer,
+    /// [`TrainerConfig::artifact_hash`] of the configuration the artifact
+    /// was trained under; 0 for artifacts assembled from loose parts.
+    /// (The vendored serde derive has no `#[serde(default)]`, so this field
+    /// is part of the wire format — pre-versioning artifact files no longer
+    /// load, which is the point of versioning them.)
+    config_hash: u64,
 }
 
 impl TrainedSizer {
     /// Assembles an artifact from parts (e.g. a model trained elsewhere).
+    /// Such artifacts carry no config hash (it is stored as 0) and fail
+    /// [`TrainedSizer::load_expecting`] checks by construction.
     pub fn new(model: SizelessModel, optimizer: MemoryOptimizer) -> Self {
-        TrainedSizer { model, optimizer }
+        TrainedSizer {
+            model,
+            optimizer,
+            config_hash: 0,
+        }
     }
 
     /// The trained model.
     pub fn model(&self) -> &SizelessModel {
         &self.model
+    }
+
+    /// Mutable access for online adaptation policies (the control plane's
+    /// fine-tuning path).
+    pub fn model_mut(&mut self) -> &mut SizelessModel {
+        &mut self.model
+    }
+
+    /// The [`TrainerConfig::artifact_hash`] the artifact was trained under
+    /// (0 when assembled from loose parts).
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
     }
 
     /// The optimizer.
@@ -172,6 +218,28 @@ impl TrainedSizer {
     pub fn load(path: &Path) -> Result<Self, CoreError> {
         let json = std::fs::read_to_string(path)?;
         Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Loads an artifact and verifies it was trained under the
+    /// configuration hashing to `expected` — the guard the experiment
+    /// binaries use to reuse `--artifact` files across runs without ever
+    /// mixing artifacts and configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArtifactMismatch`] when the stored hash
+    /// differs (including hash-0 artifacts assembled from loose parts),
+    /// and [`CoreError::Io`] / [`CoreError::Serialization`] on file
+    /// failures.
+    pub fn load_expecting(path: &Path, expected: u64) -> Result<Self, CoreError> {
+        let sizer = Self::load(path)?;
+        if sizer.config_hash != expected {
+            return Err(CoreError::ArtifactMismatch {
+                expected,
+                found: sizer.config_hash,
+            });
+        }
+        Ok(sizer)
     }
 }
 
@@ -242,5 +310,49 @@ mod tests {
     fn load_missing_artifact_errors() {
         let err = TrainedSizer::load(Path::new("/nonexistent/sizer.json")).unwrap_err();
         assert!(matches!(err, CoreError::Io(_)));
+    }
+
+    #[test]
+    fn artifact_hash_tracks_semantics_not_thread_count() {
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.dataset.threads = a.dataset.threads + 3;
+        assert_eq!(a.artifact_hash(), b.artifact_hash(), "threads are cosmetic");
+
+        let mut c = quick_cfg();
+        c.seed = 99;
+        assert_ne!(a.artifact_hash(), c.artifact_hash());
+        let mut d = quick_cfg();
+        d.dataset.function_count += 1;
+        assert_ne!(a.artifact_hash(), d.artifact_hash());
+        let mut e = quick_cfg();
+        e.base_size = MemorySize::MB_512;
+        assert_ne!(a.artifact_hash(), e.artifact_hash());
+    }
+
+    #[test]
+    fn versioned_artifact_round_trips_and_rejects_mismatches() {
+        let platform = Platform::aws_like();
+        let cfg = quick_cfg();
+        let sizer = Trainer::new(cfg).train(&platform).unwrap();
+        assert_eq!(sizer.config_hash(), cfg.artifact_hash());
+
+        let path = std::env::temp_dir().join("sizeless-test-versioned-sizer.json");
+        sizer.save(&path).unwrap();
+        let loaded = TrainedSizer::load_expecting(&path, cfg.artifact_hash()).unwrap();
+        assert_eq!(loaded, sizer);
+
+        // A different training configuration must refuse the stored file.
+        let mut other = cfg;
+        other.seed = 123;
+        let err = TrainedSizer::load_expecting(&path, other.artifact_hash()).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        match err {
+            CoreError::ArtifactMismatch { expected, found } => {
+                assert_eq!(expected, other.artifact_hash());
+                assert_eq!(found, cfg.artifact_hash());
+            }
+            e => panic!("expected ArtifactMismatch, got {e}"),
+        }
     }
 }

@@ -49,6 +49,6 @@ pub mod prelude {
 
 pub use dist::Distribution;
 pub use queue::EventQueue;
-pub use rng::RngStream;
+pub use rng::{fnv1a, RngStream};
 pub use sim::Simulation;
 pub use time::{SimDuration, SimTime};

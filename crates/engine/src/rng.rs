@@ -155,7 +155,10 @@ impl TryRng for RngStream {
     }
 }
 
-fn fnv1a(s: &str) -> u64 {
+/// FNV-1a over a string: the stable, dependency-free hash behind stream
+/// labeling — and, exported, behind anything else that needs a
+/// platform-stable fingerprint (e.g. artifact config hashes).
+pub fn fnv1a(s: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for b in s.as_bytes() {
         hash ^= *b as u64;

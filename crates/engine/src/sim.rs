@@ -96,6 +96,31 @@ impl<S> Simulation<S> {
         self.schedule_at(self.clock + delay, handler);
     }
 
+    /// The virtual time of the next pending event, if any.
+    ///
+    /// Lets an external driver merge several simulations into one
+    /// deterministic timeline: peek every clock, advance the earliest (ties
+    /// broken by the driver, e.g. lowest index), repeat — the multi-region
+    /// fleet runner does exactly this.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Executes exactly one event (the earliest pending), advancing the
+    /// clock to its time. Returns `false` when no event is pending.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.events.pop() {
+            Some((t, handler)) => {
+                debug_assert!(t >= self.clock, "event queue returned a past event");
+                self.clock = t;
+                handler(self, state);
+                self.executed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Runs events until the queue drains or the clock would pass `deadline`.
     ///
     /// Events scheduled exactly at the deadline still run. Returns the number
@@ -122,11 +147,7 @@ impl<S> Simulation<S> {
     /// Runs until no events remain.
     pub fn run_to_completion(&mut self, state: &mut S) -> u64 {
         let before = self.executed;
-        while let Some((t, handler)) = self.events.pop() {
-            self.clock = t;
-            handler(self, state);
-            self.executed += 1;
-        }
+        while self.step(state) {}
         self.executed - before
     }
 }
@@ -200,6 +221,26 @@ mod tests {
         let mut c = 0;
         sim.run_until(SimTime::from_millis(4.0), &mut c);
         assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn step_executes_exactly_one_event() {
+        let mut sim: Simulation<Vec<f64>> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(3.0), |s, log| {
+            log.push(s.now().as_millis())
+        });
+        sim.schedule_at(SimTime::from_millis(7.0), |s, log| {
+            log.push(s.now().as_millis())
+        });
+        let mut log = Vec::new();
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(3.0)));
+        assert!(sim.step(&mut log));
+        assert_eq!(log, vec![3.0]);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(7.0)));
+        assert!(sim.step(&mut log));
+        assert!(!sim.step(&mut log), "drained queue steps no further");
+        assert_eq!(sim.peek_time(), None);
+        assert_eq!(log, vec![3.0, 7.0]);
     }
 
     #[test]

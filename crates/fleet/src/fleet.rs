@@ -29,9 +29,9 @@ use crate::keepalive::{KeepAliveKind, KeepAlivePolicy};
 use crate::limits::{ConcurrencyLimits, ThrottleReason};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::stats::{FleetReport, RightsizingReport};
-use sizeless_core::service::{DirectiveReason, SizingDirective, SizingService};
+use sizeless_core::service::{DirectiveReason, RouteDecision, SizingDirective, SizingService};
 use sizeless_engine::{RngStream, SimTime, Simulation};
-use sizeless_platform::{FunctionConfig, MemorySize, Platform};
+use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile};
 use sizeless_telemetry::{
     FleetCounters, FleetMetrics, InvocationSample, ResourceMonitor, RightsizingCounters,
     RightsizingMetrics,
@@ -159,9 +159,15 @@ enum GapState {
 /// Everything a completion event needs to settle one invocation. `memory`
 /// is the size the invocation *ran* at — captured at dispatch, because a
 /// sizing directive may redeploy the function before it completes.
+/// `pool` is the host-pool key the instance was placed under: the function
+/// id itself, or the function's *shadow* pool (`fn_id + functions.len()`)
+/// when the sizing service routed this invocation to the base size for
+/// shadow re-measurement — shadow instances keep their own warm pool so
+/// base-size warmth never thrashes the directed-size generations.
 #[derive(Debug, Clone, Copy)]
 struct Completion {
     fn_id: usize,
+    pool: usize,
     host: usize,
     placement: Placement,
     memory: MemorySize,
@@ -305,14 +311,26 @@ impl Fleet {
                 unreachable!("limits never report capacity")
             }
         }
-        let memory = self.functions[fn_id].config.memory();
+        // Per-invocation routing hook: while a function shadow-re-measures,
+        // the service sends every period-th dispatch to the base size.
+        // Shadow invocations live in their own host pool (offset by the
+        // function count) so base-size warmth coexists with the
+        // directed-size generations instead of retiring them.
+        let deployed = self.functions[fn_id].config.memory();
+        let (memory, pool) = match &mut self.sizing {
+            Some(s) => match s.service.route(fn_id) {
+                RouteDecision::Shadow(base) => (base, self.functions.len() + fn_id),
+                RouteDecision::Deployed => (deployed, fn_id),
+            },
+            None => (deployed, fn_id),
+        };
         let mem_mb = f64::from(memory.mb());
         let placement = self
             .scheduler
-            .select_host(fn_id, mem_mb, &mut self.hosts, now_ms, &mut self.sched_rng)
+            .select_host(pool, mem_mb, &mut self.hosts, now_ms, &mut self.sched_rng)
             .and_then(|h| {
                 self.hosts[h]
-                    .try_begin(fn_id, mem_mb, self.default_ttl_ms, now_ms)
+                    .try_begin(pool, mem_mb, self.default_ttl_ms, now_ms)
                     .map(|(p, cold)| (h, p, cold))
             });
         let Some((host, placement, cold)) = placement else {
@@ -320,12 +338,33 @@ impl Fleet {
             self.counters.throttled_capacity += 1;
             return;
         };
-        let record = self
-            .platform
-            .invoke(&self.functions[fn_id].config, cold, &mut self.exec_rng);
+        if pool != fn_id {
+            // Count only shadow invocations that actually started — a
+            // throttled shadow route burned its period slot but produced
+            // no base-size sample.
+            let sizing = self.sizing.as_mut().expect("shadow pools exist only with sizing");
+            sizing.counters.shadow_dispatches += 1;
+        }
+        let record = if memory == deployed {
+            self.platform
+                .invoke(&self.functions[fn_id].config, cold, &mut self.exec_rng)
+        } else {
+            // A shadow invocation runs at the base size: base scaling laws,
+            // base pricing.
+            self.platform.invoke(
+                &self.functions[fn_id].config.with_memory(memory),
+                cold,
+                &mut self.exec_rng,
+            )
+        };
         if cold {
             self.counters.cold_starts += 1;
-            self.keepalive.observe_cold_start(fn_id, record.init_ms);
+            // Shadow invocations cold-start at the *base* size; feeding
+            // their init times to the keep-alive observer would skew the
+            // function's TTL sizing toward a pool it only uses transiently.
+            if pool == fn_id {
+                self.keepalive.observe_cold_start(fn_id, record.init_ms);
+            }
         }
         self.counters.in_flight += 1;
         let latency_ms = record.init_ms + record.duration_ms;
@@ -344,6 +383,7 @@ impl Fleet {
         sim.schedule_at(SimTime::from_millis(now_ms + occupancy_ms), move |s, f| {
             let done = Completion {
                 fn_id,
+                pool,
                 host,
                 placement,
                 memory,
@@ -364,7 +404,7 @@ impl Fleet {
     ) {
         let now_ms = sim.now().as_millis();
         let ttl = self.keepalive.ttl_ms(done.fn_id);
-        self.hosts[done.host].complete(done.fn_id, done.placement, now_ms, ttl, done.occupancy_ms);
+        self.hosts[done.host].complete(done.pool, done.placement, now_ms, ttl, done.occupancy_ms);
         self.limits.release(done.fn_id);
         let exec_mb_ms = done.exec_ms * f64::from(done.memory.mb());
         self.counters.exec_mb_ms += exec_mb_ms;
@@ -387,6 +427,11 @@ impl Fleet {
                 c.sum_latency_directed_ms += done.latency_ms;
                 c.sum_cost_directed_usd += done.cost_usd;
                 c.exec_mb_ms_directed += exec_mb_ms;
+            }
+            c.exec_ms_total += done.exec_ms;
+            if done.memory == sizing.service.base() {
+                c.completed_at_base += 1;
+                c.exec_ms_at_base += done.exec_ms;
             }
             c.samples_ingested += 1;
             let sample = sample.expect("sizing fleets monitor every invocation");
@@ -414,11 +459,31 @@ impl Fleet {
             return;
         }
         sizing.counters.resizes_applied += 1;
+        // Time-to-first-win counts only *productive* resizes: a Calibrate
+        // or Drift directive moves the function to base for re-measurement,
+        // which is cost, not payoff.
+        if d.reason == DirectiveReason::Recommend && sizing.counters.first_resize_at_ms.is_none() {
+            sizing.counters.first_resize_at_ms = Some(now_ms);
+        }
         self.functions[d.fn_id].config = config.with_memory(d.target);
         let mem_mb = f64::from(d.target.mb());
         for host in &mut self.hosts {
             host.resize(d.fn_id, mem_mb, self.default_ttl_ms, now_ms);
         }
+    }
+
+    /// Applies an in-place workload shift: `fn_id`'s resource profile is
+    /// replaced (its deployed memory size is kept) so subsequent
+    /// invocations draw from the new behavior — the genuine drift the
+    /// online sizing loop exists to notice. External drivers (the
+    /// multi-region runner) schedule this as a simulation event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fn_id` is out of range.
+    pub fn shift_profile(&mut self, fn_id: usize, profile: ResourceProfile) {
+        let memory = self.functions[fn_id].config.memory();
+        self.functions[fn_id].config = FunctionConfig::new(profile, memory);
     }
 
     fn on_arrival(sim: &mut Simulation<Fleet>, fleet: &mut Fleet, fn_id: usize) {
@@ -477,9 +542,12 @@ impl Fleet {
         }
     }
 
-    /// Runs the fleet to completion and reports.
-    pub fn run(mut self) -> FleetReport {
-        let mut sim: Simulation<Fleet> = Simulation::new();
+    /// Schedules every function's first arrival onto `sim`. Together with
+    /// [`Fleet::into_report`] this is the decomposed [`Fleet::run`]:
+    /// external drivers (e.g. [`run_multi_region`](crate::region)) prime
+    /// several fleets onto their own simulations, interleave them through
+    /// one merged deterministic event loop, and report each at the end.
+    pub fn prime(&mut self, sim: &mut Simulation<Fleet>) {
         let mut first_arrivals = Vec::with_capacity(self.functions.len());
         for fn_id in 0..self.functions.len() {
             first_arrivals.push((fn_id, self.next_arrival_gap(fn_id)));
@@ -491,7 +559,19 @@ impl Fleet {
                 });
             }
         }
+    }
+
+    /// Runs the fleet to completion and reports.
+    pub fn run(mut self) -> FleetReport {
+        let mut sim: Simulation<Fleet> = Simulation::new();
+        self.prime(&mut sim);
         sim.run_to_completion(&mut self);
+        self.into_report(&sim)
+    }
+
+    /// Finalizes accounting and produces the report. `sim` must be the
+    /// (drained) simulation this fleet ran on.
+    pub fn into_report(mut self, sim: &Simulation<Fleet>) -> FleetReport {
         let horizon_ms = sim.now().as_millis().max(self.duration_ms);
 
         for host in &mut self.hosts {
@@ -507,6 +587,7 @@ impl Fleet {
         debug_assert_eq!(self.counters.in_flight, 0, "drain left work in flight");
 
         let drained_instances = self.hosts.iter().map(Host::resize_drains).sum();
+        let final_sizes_mb: Vec<u32> = self.functions.iter().map(|f| f.config.memory().mb()).collect();
         FleetReport {
             scheduler: self.scheduler.name().to_string(),
             keepalive: self.keepalive.name().to_string(),
@@ -527,6 +608,7 @@ impl Fleet {
                 metrics: RightsizingMetrics::from_counters(&s.counters),
                 service: *s.service.stats(),
                 drained_instances,
+                final_sizes_mb,
             }),
         }
     }

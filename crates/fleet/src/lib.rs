@@ -85,6 +85,7 @@ pub mod fleet;
 pub mod host;
 pub mod keepalive;
 pub mod limits;
+pub mod region;
 pub mod scheduler;
 pub mod stats;
 
@@ -98,6 +99,10 @@ pub mod prelude {
         AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive,
     };
     pub use crate::limits::{ConcurrencyLimits, ThrottleReason};
+    pub use crate::region::{
+        run_multi_region, MultiRegionOptions, MultiRegionReport, RegionReport, RegionSpec,
+        WorkloadShift,
+    };
     pub use crate::scheduler::{
         LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst,
     };
@@ -108,5 +113,9 @@ pub use fleet::{run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfi
 pub use host::{Host, Placement};
 pub use keepalive::{AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive};
 pub use limits::{ConcurrencyLimits, ThrottleReason};
+pub use region::{
+    run_multi_region, MultiRegionOptions, MultiRegionReport, RegionReport, RegionSpec,
+    WorkloadShift,
+};
 pub use scheduler::{LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst};
 pub use stats::{FleetReport, RightsizingReport};

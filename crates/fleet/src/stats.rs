@@ -19,6 +19,9 @@ pub struct RightsizingReport {
     /// Instances drained (idle evicted at resize + in-flight reclaimed on
     /// completion) by memory-size transitions, across all hosts.
     pub drained_instances: usize,
+    /// Each function's deployed memory size when the run ended, MB (in
+    /// fleet order) — where the loop finally converged to.
+    pub final_sizes_mb: Vec<u32>,
 }
 
 /// Everything a fleet run reports.
@@ -104,6 +107,11 @@ mod tests {
             sum_cost_directed_usd: 0.015,
             exec_mb_ms_original: 2e6,
             exec_mb_ms_directed: 1.5e6,
+            shadow_dispatches: 17,
+            completed_at_base: 200,
+            exec_ms_at_base: 4_000.0,
+            exec_ms_total: 10_000.0,
+            first_resize_at_ms: Some(1_234.5),
         };
         let section = RightsizingReport {
             counters,
@@ -114,8 +122,17 @@ mod tests {
                 recommendations: 3,
                 drift_checks: 2,
                 drift_detections: 1,
+                entered_measuring: 3,
+                entered_referencing: 2,
+                entered_watching: 2,
+                entered_shadowing: 1,
+                rerecommend_same: 1,
+                rerecommend_changed: 1,
+                shadow_samples: 50,
+                shadow_passthrough: 150,
             },
             drained_instances: 9,
+            final_sizes_mb: vec![128, 1024],
         };
         let json = serde_json::to_string(&section).unwrap();
         let back: RightsizingReport = serde_json::from_str(&json).unwrap();

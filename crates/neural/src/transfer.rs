@@ -25,6 +25,35 @@ impl NeuralNetwork {
     /// Panics if `frozen_layers` is not smaller than the number of layers,
     /// or on dataset shape mismatch.
     pub fn fine_tune(&mut self, x: &Matrix, y: &Matrix, frozen_layers: usize, epochs: usize) {
+        self.fine_tune_with(x, y, frozen_layers, epochs, 0, &mut Scratch::new());
+    }
+
+    /// The streaming entry point behind [`NeuralNetwork::fine_tune`]: one
+    /// fine-tuning *round* over `(x, y)` with a caller-owned [`Scratch`]
+    /// workspace, for adapters that feed small observation batches as they
+    /// arrive (e.g. an online sizing control plane digesting post-resize
+    /// windows).
+    ///
+    /// `round` salts the shuffle stream so successive rounds visit their
+    /// batches in fresh orders while staying fully deterministic: the same
+    /// `(network seed, round)` pair always shuffles identically, and round 0
+    /// is bit-identical to [`NeuralNetwork::fine_tune`]. The scratch
+    /// workspace is reused across rounds — after the first round at a given
+    /// shape, a round performs zero matrix allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frozen_layers` is not smaller than the number of layers,
+    /// or on dataset shape mismatch.
+    pub fn fine_tune_with(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        frozen_layers: usize,
+        epochs: usize,
+        round: u64,
+        scratch: &mut Scratch,
+    ) {
         let total_layers = self.layer_count();
         assert!(
             frozen_layers < total_layers,
@@ -36,9 +65,10 @@ impl NeuralNetwork {
         assert!(x.rows() > 0, "cannot fine-tune on an empty dataset");
 
         let config = *self.config();
-        let mut shuffle_rng = RngStream::from_seed(self.seed() ^ 0xF17E, "nn-finetune");
+        // Golden-ratio round salt keeps round 0 on the historical stream.
+        let salt = round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut shuffle_rng = RngStream::from_seed(self.seed() ^ 0xF17E ^ salt, "nn-finetune");
         let mut order: Vec<usize> = (0..x.rows()).collect();
-        let mut scratch = Scratch::new();
 
         for _ in 0..epochs {
             shuffle_rng.shuffle(&mut order);
@@ -47,7 +77,7 @@ impl NeuralNetwork {
                 y.select_rows_into(chunk, &mut scratch.yb);
                 // Frozen layers participate in the forward pass; the
                 // backward pass stops at the first trainable layer.
-                let _ = self.train_batch(&mut scratch, frozen_layers);
+                let _ = self.train_batch(scratch, frozen_layers);
             }
         }
     }
@@ -167,6 +197,31 @@ mod tests {
             transfer_err < scratch_err,
             "transfer {transfer_err:.5} vs scratch {scratch_err:.5}"
         );
+    }
+
+    #[test]
+    fn round_zero_matches_fine_tune_and_rounds_are_deterministic() {
+        let (x_old, y_old) = dataset(2.0, 120, 20);
+        let (x_new, y_new) = dataset(2.8, 24, 21);
+        let mut base = NeuralNetwork::new(1, 1, &config(), 22);
+        base.fit(&x_old, &y_old);
+
+        let mut a = base.clone();
+        a.fine_tune(&x_new, &y_new, 1, 20);
+        let mut b = base.clone();
+        b.fine_tune_with(&x_new, &y_new, 1, 20, 0, &mut Scratch::new());
+        assert_eq!(a, b, "round 0 must be bit-identical to fine_tune");
+
+        // Successive rounds with a shared scratch replay bit-identically.
+        let run = || {
+            let mut net = base.clone();
+            let mut scratch = Scratch::new();
+            for round in 0..3u64 {
+                net.fine_tune_with(&x_new, &y_new, 1, 8, round, &mut scratch);
+            }
+            net
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -141,6 +141,21 @@ pub struct RightsizingCounters {
     pub exec_mb_ms_original: f64,
     /// Execution memory-time of directed-size completions, MB·ms.
     pub exec_mb_ms_directed: f64,
+    /// Dispatches the shadow-sampling hook routed to the base size.
+    pub shadow_dispatches: usize,
+    /// Completions that ran at the sizing service's *base* size — under
+    /// full-revert re-measurement every revert pays a whole window of
+    /// these; shadow sampling pays only its routed fraction.
+    pub completed_at_base: usize,
+    /// Execution time spent at the base size, ms (no memory weighting —
+    /// the "time spent at base" a re-measurement policy is judged on).
+    pub exec_ms_at_base: f64,
+    /// Execution time across all completions, ms.
+    pub exec_ms_total: f64,
+    /// Simulation time of the first applied *recommendation* resize, ms —
+    /// the loop's time-to-first-win. Calibrate/drift reverts to base are
+    /// re-measurement cost, not payoff, and do not stamp this.
+    pub first_resize_at_ms: Option<f64>,
 }
 
 /// Before/after-resize rates derived from [`RightsizingCounters`].
@@ -158,6 +173,9 @@ pub struct RightsizingMetrics {
     pub exec_mb_ms_per_completion_original: f64,
     /// Execution memory-time per completion at a directed size, MB·ms.
     pub exec_mb_ms_per_completion_directed: f64,
+    /// Share of execution time spent at the base size, in `[0, 1]` — the
+    /// cost a re-measurement policy pays for fresh base-size windows.
+    pub time_at_base_share: f64,
 }
 
 impl RightsizingMetrics {
@@ -178,6 +196,11 @@ impl RightsizingMetrics {
                 c.exec_mb_ms_directed,
                 c.completed_at_directed,
             ),
+            time_at_base_share: if c.exec_ms_total > 0.0 {
+                c.exec_ms_at_base / c.exec_ms_total
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -253,6 +276,11 @@ mod tests {
             sum_cost_directed_usd: 0.006,
             exec_mb_ms_original: 400_000.0,
             exec_mb_ms_directed: 300_000.0,
+            shadow_dispatches: 5,
+            completed_at_base: 40,
+            exec_ms_at_base: 1_500.0,
+            exec_ms_total: 6_000.0,
+            first_resize_at_ms: Some(2_500.0),
         };
         let m = RightsizingMetrics::from_counters(&c);
         assert!((m.mean_latency_original_ms - 100.0).abs() < 1e-12);
@@ -261,9 +289,12 @@ mod tests {
         assert!((m.mean_cost_directed_usd - 1e-4).abs() < 1e-12);
         assert!((m.exec_mb_ms_per_completion_original - 10_000.0).abs() < 1e-12);
         assert!((m.exec_mb_ms_per_completion_directed - 5_000.0).abs() < 1e-12);
+        assert!((m.time_at_base_share - 0.25).abs() < 1e-12);
         // Zero denominators stay zero.
         let empty = RightsizingMetrics::from_counters(&RightsizingCounters::default());
         assert_eq!(empty.mean_latency_original_ms, 0.0);
         assert_eq!(empty.exec_mb_ms_per_completion_directed, 0.0);
+        assert_eq!(empty.time_at_base_share, 0.0);
+        assert_eq!(RightsizingCounters::default().first_resize_at_ms, None);
     }
 }

@@ -7,12 +7,14 @@
 
 use sizeless::core::dataset::{DatasetConfig, TrainingDataset};
 use sizeless::core::pipeline::{PipelineConfig, SizelessPipeline};
-use sizeless::core::service::{ServiceConfig, SizingService};
-use sizeless::core::trainer::{Trainer, TrainerConfig};
+use sizeless::core::service::{
+    AdaptationKind, ControlPlane, FineTuneConfig, RemeasureKind, ServiceConfig, SizingService,
+};
+use sizeless::core::trainer::{TrainedSizer, Trainer, TrainerConfig};
 use sizeless::engine::RngStream;
 use sizeless::fleet::{
-    run_fleet, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind,
-    SchedulerKind,
+    run_fleet, run_multi_region, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction,
+    KeepAliveKind, MultiRegionOptions, RegionSpec, SchedulerKind, WorkloadShift,
 };
 use sizeless::neural::NetworkConfig;
 use sizeless::platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
@@ -238,6 +240,148 @@ fn closed_loop_fleet_is_bit_identical_across_thread_counts() {
     assert_eq!(
         rs.metrics.exec_mb_ms_per_completion_directed.to_bits(),
         t.metrics.exec_mb_ms_per_completion_directed.to_bits()
+    );
+}
+
+/// A small trained artifact whose offline dataset measurement fans out over
+/// `threads` workers — the only multi-threaded stage anywhere in the
+/// closed loop.
+fn sizer_with_threads(platform: &Platform, threads: usize) -> TrainedSizer {
+    let mut dataset = DatasetConfig::tiny(16);
+    dataset.seed = 29;
+    dataset.threads = threads;
+    let cfg = TrainerConfig {
+        dataset,
+        network: NetworkConfig {
+            hidden_layers: 1,
+            neurons: 16,
+            epochs: 25,
+            ..NetworkConfig::default()
+        },
+        seed: 29,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg).train(platform).expect("trainable")
+}
+
+/// Two regions with skewed mixes and a mid-run workload shift — enough
+/// traffic to fill several windows, trip drift, and (under shadow
+/// sampling) route shadow dispatches.
+fn multi_region_specs() -> Vec<RegionSpec> {
+    let io = || {
+        ResourceProfile::builder("mr-io")
+            .stage(Stage::file_io("io", 384.0, 96.0))
+            .build()
+    };
+    let cpu = || {
+        ResourceProfile::builder("mr-cpu")
+            .stage(Stage::cpu("work", 70.0))
+            .init_cpu_ms(120.0)
+            .build()
+    };
+    let functions = |io_rps: f64, cpu_rps: f64| {
+        vec![
+            FleetFunction::new(
+                FunctionConfig::new(io(), MemorySize::MB_256),
+                FleetArrival::Steady(ArrivalProcess::poisson(io_rps)),
+            ),
+            FleetFunction::new(
+                FunctionConfig::new(cpu(), MemorySize::MB_256),
+                FleetArrival::Steady(ArrivalProcess::poisson(cpu_rps)),
+            ),
+        ]
+    };
+    vec![
+        RegionSpec {
+            name: "east".into(),
+            config: FleetConfig::new(2, 4096.0, 30_000.0, 41),
+            functions: functions(20.0, 6.0),
+            shifts: vec![],
+        },
+        RegionSpec {
+            name: "west".into(),
+            config: FleetConfig::new(2, 4096.0, 30_000.0, 42),
+            functions: functions(6.0, 16.0),
+            shifts: vec![WorkloadShift {
+                at_ms: 15_000.0,
+                fn_id: 1,
+                profile: ResourceProfile::builder("mr-cpu")
+                    .stage(Stage::cpu("work", 160.0))
+                    .init_cpu_ms(120.0)
+                    .build(),
+            }],
+        },
+    ]
+}
+
+/// The multi-region control plane obeys the reproducibility contract for
+/// **both** new policy axes: `ShadowSampling` routing (counter-based, no
+/// RNG) and `FineTune` adaptation (numbered rounds over the merged event
+/// order) replay bit-identically across repeat runs *and* across
+/// dataset-measurement thread counts, pinned at threads ∈ {1, 4}.
+#[test]
+fn multi_region_shadow_and_finetune_are_bit_identical_across_thread_counts() {
+    let platform = Platform::aws_like();
+    let run = |threads: usize, remeasure: RemeasureKind, adaptation: AdaptationKind| {
+        let plane = ControlPlane::new(sizer_with_threads(&platform, threads), adaptation.build());
+        run_multi_region(
+            &platform,
+            &multi_region_specs(),
+            &plane,
+            &MultiRegionOptions {
+                scheduler: SchedulerKind::WarmFirst,
+                keepalive: KeepAliveKind::Adaptive,
+                service: ServiceConfig {
+                    window: 40,
+                    ..ServiceConfig::default()
+                },
+                remeasure,
+            },
+        )
+    };
+
+    let fine_tune = AdaptationKind::FineTune(FineTuneConfig {
+        frozen_layers: 1,
+        epochs: 4,
+        batch: 1,
+    });
+    let shadow = RemeasureKind::ShadowSampling(0.25);
+
+    // Shadow routing: serial vs threaded offline phase, plus a repeat run.
+    let shadow_serial = run(1, shadow, AdaptationKind::Frozen);
+    let shadow_threaded = run(4, shadow, AdaptationKind::Frozen);
+    assert_eq!(
+        shadow_serial, shadow_threaded,
+        "shadow-sampled multi-region run diverged across thread counts"
+    );
+    assert_eq!(
+        shadow_serial,
+        run(1, shadow, AdaptationKind::Frozen),
+        "shadow-sampled multi-region run diverged across repeats"
+    );
+
+    // Fine-tuned plane: same contract (the artifact mutates mid-run, in
+    // merged-event order, so any hidden nondeterminism would surface here).
+    let fine_serial = run(1, RemeasureKind::FullRevert, fine_tune);
+    let fine_threaded = run(4, RemeasureKind::FullRevert, fine_tune);
+    assert_eq!(
+        fine_serial, fine_threaded,
+        "fine-tuned multi-region run diverged across thread counts"
+    );
+
+    // The runs must exercise the loop, not pass vacuously.
+    for (report, what) in [(&shadow_serial, "shadow"), (&fine_serial, "fine-tune")] {
+        assert!(report.completed() > 0, "{what}: no traffic");
+        let recommendations: usize = report
+            .regions
+            .iter()
+            .map(|r| r.report.rightsizing.as_ref().unwrap().service.recommendations)
+            .sum();
+        assert!(recommendations > 0, "{what}: no window ever filled");
+    }
+    assert!(
+        fine_serial.plane.observations > 0,
+        "fine-tune run produced no post-resize observations"
     );
 }
 
