@@ -22,9 +22,6 @@
 //! set never saw (Rekognition, Aurora, SQS, Kinesis, SNS, Step Functions),
 //! preserving the paper's synthetic→realistic transfer gap.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod airline;
 pub mod event_processing;
 pub mod facial;

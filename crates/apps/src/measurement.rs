@@ -85,6 +85,7 @@ impl FunctionMeasurement {
     ///
     /// Panics if `m` is not a standard size.
     pub fn metrics_at(&self, m: MemorySize) -> &MetricVector {
+        // lint: allow(panic002) reason="documented # Panics contract: m must be one of the six standard sizes"
         &self.metrics[m.standard_index().expect("standard size")]
     }
 
@@ -94,6 +95,7 @@ impl FunctionMeasurement {
     ///
     /// Panics if `m` is not a standard size.
     pub fn execution_ms_at(&self, m: MemorySize) -> f64 {
+        // lint: allow(panic002) reason="documented # Panics contract: m must be one of the six standard sizes"
         self.mean_execution_ms[m.standard_index().expect("standard size")]
     }
 
@@ -103,6 +105,7 @@ impl FunctionMeasurement {
     ///
     /// Panics if `m` is not a standard size.
     pub fn cost_usd_at(&self, m: MemorySize) -> f64 {
+        // lint: allow(panic002) reason="documented # Panics contract: m must be one of the six standard sizes"
         self.mean_cost_usd[m.standard_index().expect("standard size")]
     }
 

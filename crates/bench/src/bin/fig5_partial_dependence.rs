@@ -70,7 +70,7 @@ fn main() {
             }
         })
         .collect();
-    curves.sort_by(|a, b| b.influence.partial_cmp(&a.influence).expect("finite"));
+    curves.sort_by(|a, b| b.influence.total_cmp(&a.influence));
 
     let rows: Vec<Vec<String>> = curves
         .iter()

@@ -74,7 +74,7 @@ fn main() {
 
     let best_mse = rows_out
         .iter()
-        .min_by(|a, b| a.mse.partial_cmp(&b.mse).expect("finite"))
+        .min_by(|a, b| a.mse.total_cmp(&b.mse))
         .expect("non-empty");
     println!(
         "\nBest-MSE base size here: {} MB (paper selects 256 MB on the same criterion; \

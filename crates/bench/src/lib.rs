@@ -20,9 +20,6 @@
 //! Binaries print paper-style tables to stdout and persist JSON into the
 //! results directory so `EXPERIMENTS.md` numbers are regenerable.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use serde::Serialize;
 use sizeless_core::dataset::{DatasetConfig, TrainingDataset};
 use sizeless_core::error::CoreError;

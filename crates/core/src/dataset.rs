@@ -103,6 +103,7 @@ impl FunctionRecord {
     ///
     /// Panics if `m` is not one of the six standard sizes.
     pub fn metrics_at(&self, m: MemorySize) -> &MetricVector {
+        // lint: allow(panic002) reason="documented # Panics contract: m must be one of the six standard sizes"
         &self.metrics[m.standard_index().expect("standard size")]
     }
 
@@ -112,6 +113,7 @@ impl FunctionRecord {
     ///
     /// Panics if `m` is not one of the six standard sizes.
     pub fn execution_ms_at(&self, m: MemorySize) -> f64 {
+        // lint: allow(panic002) reason="documented # Panics contract: m must be one of the six standard sizes"
         self.mean_execution_ms[m.standard_index().expect("standard size")]
     }
 

@@ -36,6 +36,7 @@ pub fn export_csv(dataset: &TrainingDataset, path: &Path) -> Result<(), CoreErro
             let mut row = vec![record.name.clone(), m.mb().to_string()];
             row.extend(Metric::ALL.iter().map(|metric| format!("{}", mv.mean(*metric))));
             row.push(format!("{}", record.execution_ms_at(m)));
+            // lint: allow(panic002) reason="the export loop iterates MemorySize::STANDARD, so every size has a standard index"
             row.push(format!("{}", record.mean_cost_usd[m.standard_index().expect("standard")]));
             writeln!(file, "{}", row.join(","))?;
         }

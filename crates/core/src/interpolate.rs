@@ -44,6 +44,7 @@ impl TimeInterpolant {
             deltas.push((ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]));
         }
         let mut slopes = vec![0.0; n];
+        // lint: allow(panic003) reason="n >= 2 asserted at entry, so deltas has at least one element"
         slopes[0] = deltas[0];
         slopes[n - 1] = deltas[n - 2];
         for i in 1..n - 1 {
@@ -58,6 +59,7 @@ impl TimeInterpolant {
         }
         // Clamp endpoint slopes (Fritsch–Carlson boundary rule).
         for i in [0, n - 1] {
+            // lint: allow(panic003) reason="n >= 2 asserted in fit, so deltas is non-empty"
             let d = if i == 0 { deltas[0] } else { deltas[n - 2] };
             if slopes[i] * d <= 0.0 {
                 slopes[i] = 0.0;
@@ -73,7 +75,9 @@ impl TimeInterpolant {
     /// knot range.
     pub fn eval_mb(&self, mb: f64) -> f64 {
         let n = self.xs.len();
+        // lint: allow(panic003) reason="fit asserts >= 2 knots, so xs/ys are non-empty"
         if mb <= self.xs[0] {
+            // lint: allow(panic003) reason="fit asserts >= 2 knots, so xs/ys are non-empty"
             return self.ys[0];
         }
         if mb >= self.xs[n - 1] {
@@ -82,7 +86,9 @@ impl TimeInterpolant {
         let i = self
             .xs
             .windows(2)
+            // lint: allow(panic003) reason="windows(2) yields exactly-2-element slices"
             .position(|w| mb >= w[0] && mb <= w[1])
+            // lint: allow(panic002) reason="the clamp branches above guarantee mb lies inside [xs[0], xs[n-1]], so some window contains it"
             .expect("mb within knot range");
         let h = self.xs[i + 1] - self.xs[i];
         let t = (mb - self.xs[i]) / h;

@@ -42,9 +42,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod baselines;
 pub mod dataset;
 pub mod drift;

@@ -85,13 +85,17 @@ impl OptimizationOutcome {
         self.scores
             .iter()
             .find(|s| s.memory == m)
+            // lint: allow(panic002) reason="documented # Panics contract: m must be a candidate size"
             .expect("size was a candidate")
     }
 
     /// Candidate sizes ranked by ascending `s_total` (best first).
+    ///
+    /// Ordering uses `total_cmp`, so a NaN score ranks last instead of
+    /// panicking (NaN sorts after +inf under the IEEE total order).
     pub fn ranking(&self) -> Vec<MemorySize> {
         let mut sorted: Vec<&SizeScores> = self.scores.iter().collect();
-        sorted.sort_by(|a, b| a.s_total.partial_cmp(&b.s_total).expect("scores not NaN"));
+        sorted.sort_by(|a, b| a.s_total.total_cmp(&b.s_total));
         sorted.iter().map(|s| s.memory).collect()
     }
 
@@ -104,6 +108,7 @@ impl OptimizationOutcome {
         self.ranking()
             .iter()
             .position(|&x| x == m)
+            // lint: allow(panic002) reason="documented # Panics contract: m must be a candidate size"
             .expect("size was a candidate")
     }
 }
@@ -163,7 +168,8 @@ impl MemoryOptimizer {
 
         let chosen = scores
             .iter()
-            .min_by(|a, b| a.s_total.partial_cmp(&b.s_total).expect("scores not NaN"))
+            .min_by(|a, b| a.s_total.total_cmp(&b.s_total))
+            // lint: allow(panic002) reason="times_ms is asserted non-empty at entry, so scores is non-empty"
             .expect("non-empty scores")
             .memory;
 
@@ -269,13 +275,13 @@ mod tests {
         let cheapest = pure_cost
             .scores
             .iter()
-            .min_by(|a, b| a.cost_usd.partial_cmp(&b.cost_usd).unwrap())
+            .min_by(|a, b| a.cost_usd.total_cmp(&b.cost_usd))
             .unwrap()
             .memory;
         let fastest = pure_perf
             .scores
             .iter()
-            .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap())
+            .min_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
             .unwrap()
             .memory;
         assert_eq!(pure_cost.chosen, cheapest);
@@ -307,6 +313,22 @@ mod tests {
         let s = out.scores_for(MemorySize::MB_512);
         assert_eq!(s.memory, MemorySize::MB_512);
         assert_eq!(s.time_ms, 290.0);
+    }
+
+    #[test]
+    fn ranking_with_nan_score_is_total_and_puts_nan_last() {
+        // Regression: `ranking()` used `partial_cmp(..).expect(..)` and
+        // panicked on a NaN score. `OptimizationOutcome.scores` is a public
+        // field, so NaN can arrive from hand-built or deserialized outcomes;
+        // under total_cmp the NaN candidate deterministically ranks last.
+        let opt = MemoryOptimizer::default();
+        let mut out = opt.optimize_times(&cpu_bound_times());
+        out.scores[0].s_total = f64::NAN;
+        let nan_size = out.scores[0].memory;
+        let ranking = out.ranking();
+        assert_eq!(ranking.len(), out.scores.len());
+        assert_eq!(*ranking.last().unwrap(), nan_size);
+        assert_eq!(out.rank_of(nan_size), ranking.len() - 1);
     }
 
     #[test]

@@ -24,9 +24,11 @@ pub fn render_report(recommendation: &Recommendation, current: MemorySize) -> St
     let chosen = recommendation.memory_size();
     let outcome = &recommendation.outcome;
 
-    writeln!(out, "Sizeless memory-size recommendation").expect("writing to String");
-    writeln!(out, "===================================").expect("writing to String");
-    writeln!(
+    // Writing into a String is infallible: discard the fmt::Result
+    // instead of asserting on it.
+    let _ = writeln!(out, "Sizeless memory-size recommendation");
+    let _ = writeln!(out, "===================================");
+    let _ = writeln!(
         out,
         "monitored at {current}, tradeoff t = {:.2} ({} priority)",
         outcome.tradeoff,
@@ -37,15 +39,13 @@ pub fn render_report(recommendation: &Recommendation, current: MemorySize) -> St
         } else {
             "balanced"
         }
-    )
-    .expect("writing to String");
-    writeln!(out).expect("writing to String");
-    writeln!(
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
         out,
         "{:>8}  {:>12}  {:>12}  {:>8}  {:>8}  {:>8}",
         "size", "time [ms]", "cost [µ$]", "S_cost", "S_perf", "S_total"
-    )
-    .expect("writing to String");
+    );
     for s in &outcome.scores {
         let marker = if s.memory == chosen {
             "  <- recommended"
@@ -54,7 +54,7 @@ pub fn render_report(recommendation: &Recommendation, current: MemorySize) -> St
         } else {
             ""
         };
-        writeln!(
+        let _ = writeln!(
             out,
             "{:>8}  {:>12.1}  {:>12.2}  {:>8.3}  {:>8.3}  {:>8.3}{}",
             s.memory.to_string(),
@@ -64,24 +64,22 @@ pub fn render_report(recommendation: &Recommendation, current: MemorySize) -> St
             s.s_perf,
             s.s_total,
             marker
-        )
-        .expect("writing to String");
+        );
     }
 
     let cur = outcome.scores_for(current);
     let new = outcome.scores_for(chosen);
     let speedup = (1.0 - new.time_ms / cur.time_ms) * 100.0;
     let cost_change = (new.cost_usd / cur.cost_usd - 1.0) * 100.0;
-    writeln!(out).expect("writing to String");
+    let _ = writeln!(out);
     if chosen == current {
-        writeln!(out, "verdict: keep the current size {current}.").expect("writing to String");
+        let _ = writeln!(out, "verdict: keep the current size {current}.");
     } else {
-        writeln!(
+        let _ = writeln!(
             out,
             "verdict: switch {current} -> {chosen}: {speedup:+.1}% execution time, \
              {cost_change:+.1}% cost per invocation (predicted).",
-        )
-        .expect("writing to String");
+        );
     }
     out
 }

@@ -407,6 +407,7 @@ impl SizingService {
             }
         }
 
+        // lint: allow(panic002) reason="the block above just created or verified this function's state slot"
         let state = self.functions[fn_id].as_mut().expect("state ensured above");
         if state.phase == FnPhase::Shadowing {
             if at_size == state.current {
@@ -494,6 +495,7 @@ impl SizingService {
                     if let Some(measurement) = &state.last_measurement {
                         let observed_ms = state.window.aggregate().mean_execution_time_ms();
                         self.plane.observe(OnlineObservation {
+                            // lint: allow(hot001) reason="runs once per completed reference window, not per invocation; the base measurement must stay owned for later re-recommendations"
                             metrics: measurement.clone(),
                             directed: state.current,
                             observed_ms,

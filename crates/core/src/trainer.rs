@@ -70,6 +70,7 @@ impl TrainerConfig {
     pub fn artifact_hash(&self) -> u64 {
         let mut canonical = *self;
         canonical.dataset.threads = 0;
+        // lint: allow(panic002) reason="TrainerConfig is plain old data; serializing it to JSON cannot fail"
         let json = serde_json::to_string(&canonical).expect("config serializes");
         // FNV-1a (the engine's stream-labeling hash): stable across
         // platforms and runs, no hasher state to seed.

@@ -27,9 +27,6 @@
 //! assert!(gap > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dist;
 pub mod queue;
 pub mod rng;

@@ -27,11 +27,12 @@ impl<T> Eq for Scheduled<T> {}
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for min-heap behaviour on BinaryHeap (a max-heap).
+        // total_cmp keeps this a true total order even if a NaN timestamp
+        // ever slips in (it sorts last instead of corrupting the heap).
         other
             .time
             .as_millis()
-            .partial_cmp(&self.time.as_millis())
-            .expect("SimTime is never NaN")
+            .total_cmp(&self.time.as_millis())
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -131,6 +131,7 @@ impl<S> Simulation<S> {
             if t > deadline {
                 break;
             }
+            // lint: allow(panic002) reason="pop follows a successful peek on the same queue with no intervening mutation"
             let (t, handler) = self.events.pop().expect("peeked event must exist");
             debug_assert!(t >= self.clock, "event queue returned a past event");
             self.clock = t;

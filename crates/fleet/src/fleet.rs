@@ -342,6 +342,7 @@ impl Fleet {
             // Count only shadow invocations that actually started — a
             // throttled shadow route burned its period slot but produced
             // no base-size sample.
+            // lint: allow(panic002) reason="shadow pool ids are only created when a sizing service is installed"
             let sizing = self.sizing.as_mut().expect("shadow pools exist only with sizing");
             sizing.counters.shadow_dispatches += 1;
         }
@@ -434,6 +435,7 @@ impl Fleet {
                 c.exec_ms_at_base += done.exec_ms;
             }
             c.samples_ingested += 1;
+            // lint: allow(panic002) reason="sizing fleets install a monitor for every function, so the sample is always present"
             let sample = sample.expect("sizing fleets monitor every invocation");
             directive = sizing.service.ingest(done.fn_id, done.memory, sample);
         }
@@ -448,6 +450,7 @@ impl Fleet {
     /// Applies a sizing directive to the live fleet: redeploys the function
     /// at the directed size and retires old-size warmth on every host.
     fn apply_directive(&mut self, d: SizingDirective, now_ms: f64) {
+        // lint: allow(panic002) reason="directives are only emitted by the installed sizing service"
         let sizing = self.sizing.as_mut().expect("directives come from the service");
         match d.reason {
             DirectiveReason::Recommend => sizing.counters.recommendations += 1,

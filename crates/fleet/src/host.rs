@@ -148,6 +148,7 @@ impl Host {
         let gens = &mut self.pools[fn_id];
         let drained = gens
             .active_mut()
+            // lint: allow(panic002) reason="resize only calls this after matching on an active pool"
             .expect("transition requires an active pool")
             .pool
             .retire_idle(now_ms);
@@ -184,11 +185,12 @@ impl Host {
     fn prune_drained(&mut self, fn_id: usize) {
         let gens = &mut self.pools[fn_id];
         while gens.gens.len() > 1 {
-            let front = gens.gens.front().expect("len checked");
-            if front.pool.in_flight() > 0 {
+            if gens.gens.front().is_some_and(|f| f.pool.in_flight() > 0) {
                 break;
             }
-            let dead = gens.gens.pop_front().expect("len checked");
+            let Some(dead) = gens.gens.pop_front() else {
+                break;
+            };
             gens.first += 1;
             self.pruned_provisioned += dead.pool.provisioned();
             self.pruned_evictions += dead.pool.evictions();
@@ -271,7 +273,7 @@ impl Host {
                 let t = pool.oldest_idle_release_ms(now_ms)?;
                 Some((pool, t))
             })
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("release times are never NaN"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(pool, _)| pool);
         match victim {
             Some(pool) => pool.evict_lru_idle(now_ms),
@@ -293,6 +295,7 @@ impl Host {
         if self.warm_idle(fn_id, now_ms) > 0 {
             return self.pools[fn_id]
                 .get_mut(generation)
+                // lint: allow(panic002) reason="ensure_pool above just returned this generation as active"
                 .expect("active generation exists")
                 .pool
                 .try_begin(now_ms)
@@ -308,6 +311,7 @@ impl Host {
         }
         self.pools[fn_id]
             .get_mut(generation)
+            // lint: allow(panic002) reason="ensure_pool above just returned this generation as active"
             .expect("active generation exists")
             .pool
             .try_begin(now_ms)
@@ -331,6 +335,7 @@ impl Host {
         let retired = placement.generation + 1 != gens.first + gens.gens.len();
         let fp = gens
             .get_mut(placement.generation)
+            // lint: allow(panic002) reason="completions carry a placement minted at dispatch, so the generation exists on this host"
             .expect("completion for a generation never created on this host");
         let ttl = if retired { 0.0 } else { ttl_ms };
         fp.pool.complete_with_ttl(placement.instance, finish_ms, ttl);

@@ -121,7 +121,7 @@ impl FnHistory {
             self.sorted.clear();
             self.sorted.extend_from_slice(&self.gaps);
             self.sorted
-                .sort_by(|a, b| a.partial_cmp(b).expect("gaps are never NaN"));
+                .sort_by(|a, b| a.total_cmp(b));
             self.dirty = false;
         }
         let idx = ((self.sorted.len() - 1) as f64 * q).ceil() as usize;

@@ -78,9 +78,6 @@
 //! assert!(report.metrics.utilization > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod fleet;
 pub mod host;
 pub mod keepalive;

@@ -30,9 +30,6 @@
 //! assert!(!f.profile.stages().is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod generator;
 pub mod motivating;
 pub mod segment;

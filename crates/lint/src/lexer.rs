@@ -1,0 +1,607 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The linter deliberately avoids `syn` (consistent with the workspace's
+//! vendored-offline dependency policy), so rules operate on a flat token
+//! stream produced here. The lexer understands exactly enough Rust to keep
+//! rules from firing inside places that are not code:
+//!
+//! - line comments (`//`), doc comments, and nested block comments
+//!   (`/* /* */ */`),
+//! - string literals with escapes, raw strings with any number of `#`
+//!   guards (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! - char literals vs. lifetimes (`'a'` vs. `'a`),
+//! - numeric literals (including underscores and type suffixes),
+//! - identifiers (including raw identifiers `r#match`) and single-char
+//!   punctuation, with `(`/`[`/`{` and their closers tagged as delimiters
+//!   so callers can walk token trees.
+//!
+//! Every token carries a 1-indexed `line`/`col` span so diagnostics point at
+//! the exact source location. Lint suppression comments
+//! (`// lint: allow(rule) reason="…"`) are recognized during lexing and
+//! returned alongside the token stream — they live in comments, which rules
+//! never see.
+
+/// What kind of source atom a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `Instant`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// String, raw-string, byte-string, or char literal.
+    Str,
+    /// Numeric literal (`1`, `0x_FF`, `1.5e3f64`).
+    Num,
+    /// Single punctuation character that is not a delimiter.
+    Punct,
+    /// Opening delimiter: `(`, `[`, or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]`, or `}`.
+    Close,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text of the token (string literals keep their quotes).
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// 1-indexed source column (in chars).
+    pub col: u32,
+}
+
+/// A `// lint: allow(rule, …) reason="…"` comment found while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule identifiers listed inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// The quoted reason, if one was given.
+    pub reason: Option<String>,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Column of the `//`.
+    pub col: u32,
+    /// True when the comment is the only thing on its line, in which case it
+    /// applies to the next code line instead of its own.
+    pub own_line: bool,
+}
+
+/// Output of [`lex`]: the token stream plus any suppression comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All suppression comments in source order.
+    pub suppressions: Vec<Suppression>,
+    /// Lines that could not be lexed cleanly (unterminated literals, …).
+    pub errors: Vec<(u32, String)>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count chars, not bytes: only advance on non-continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`, returning tokens, suppression comments, and lex errors.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    // Tracks whether any token has been emitted on the current line, so a
+    // suppression comment knows if it trails code or stands alone.
+    let mut code_on_line: u32 = 0;
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let comment = read_line_comment(&mut cur);
+                if let Some(mut s) = parse_suppression(&comment) {
+                    s.line = line;
+                    s.col = col;
+                    s.own_line = code_on_line != line;
+                    out.suppressions.push(s);
+                }
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                if !skip_block_comment(&mut cur) {
+                    out.errors.push((line, "unterminated block comment".into()));
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                match read_raw_or_byte_string(&mut cur) {
+                    Ok(text) => push(&mut out.tokens, TokenKind::Str, text, line, col),
+                    Err(e) => out.errors.push((line, e)),
+                }
+                code_on_line = line;
+            }
+            b'"' => {
+                match read_string(&mut cur) {
+                    Ok(text) => push(&mut out.tokens, TokenKind::Str, text, line, col),
+                    Err(e) => out.errors.push((line, e)),
+                }
+                code_on_line = line;
+            }
+            b'\'' => {
+                let (kind, text) = read_char_or_lifetime(&mut cur);
+                push(&mut out.tokens, kind, text, line, col);
+                code_on_line = line;
+            }
+            _ if is_ident_start(b) => {
+                let text = read_ident(&mut cur);
+                push(&mut out.tokens, TokenKind::Ident, text, line, col);
+                code_on_line = line;
+            }
+            _ if b.is_ascii_digit() => {
+                let text = read_number(&mut cur);
+                push(&mut out.tokens, TokenKind::Num, text, line, col);
+                code_on_line = line;
+            }
+            b'(' | b'[' | b'{' => {
+                cur.bump();
+                push(&mut out.tokens, TokenKind::Open, (b as char).to_string(), line, col);
+                code_on_line = line;
+            }
+            b')' | b']' | b'}' => {
+                cur.bump();
+                push(&mut out.tokens, TokenKind::Close, (b as char).to_string(), line, col);
+                code_on_line = line;
+            }
+            _ => {
+                cur.bump();
+                push(&mut out.tokens, TokenKind::Punct, (b as char).to_string(), line, col);
+                code_on_line = line;
+            }
+        }
+    }
+    out
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, text: String, line: u32, col: u32) {
+    tokens.push(Token { kind, text, line, col });
+}
+
+fn read_line_comment(cur: &mut Cursor) -> String {
+    let start = cur.pos;
+    while let Some(b) = cur.peek() {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+fn skip_block_comment(cur: &mut Cursor) -> bool {
+    // Consume `/*`; nested block comments nest like in Rust.
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => return false,
+        }
+    }
+    true
+}
+
+fn starts_raw_or_byte_string(cur: &Cursor) -> bool {
+    // r"…", r#"…"#, br"…", b"…", b'…' — only the string forms are handled
+    // here; a bare ident like `radius` must fall through to ident lexing.
+    let b0 = cur.peek();
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"')) | (Some(b'r'), Some(b'#')) => {
+            // `r#ident` is a raw identifier, not a raw string: require that a
+            // `"` follows the `#` run.
+            let mut i = 1;
+            while cur.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'"')
+        }
+        (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => {
+            let mut i = 2;
+            while cur.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+fn read_raw_or_byte_string(cur: &mut Cursor) -> Result<String, String> {
+    let start = cur.pos;
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'\'') {
+        // Byte char literal b'x'.
+        cur.bump();
+        if cur.peek() == Some(b'\\') {
+            cur.bump();
+            cur.bump();
+        } else {
+            cur.bump();
+        }
+        if cur.peek() == Some(b'\'') {
+            cur.bump();
+            return Ok(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned());
+        }
+        return Err("unterminated byte literal".into());
+    }
+    let raw = cur.peek() == Some(b'r');
+    if raw {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        return Err("malformed raw string start".into());
+    }
+    cur.bump();
+    if raw {
+        // Scan until `"` followed by `hashes` `#`s.
+        loop {
+            match cur.peek() {
+                None => return Err("unterminated raw string".into()),
+                Some(b'"') => {
+                    cur.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek() == Some(b'#') {
+                        cur.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return Ok(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned());
+                    }
+                }
+                Some(_) => {
+                    cur.bump();
+                }
+            }
+        }
+    } else {
+        // b"…" with escapes.
+        read_string_tail(cur)?;
+        Ok(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+    }
+}
+
+fn read_string(cur: &mut Cursor) -> Result<String, String> {
+    let start = cur.pos;
+    cur.bump(); // opening quote
+    read_string_tail(cur)?;
+    Ok(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+}
+
+fn read_string_tail(cur: &mut Cursor) -> Result<(), String> {
+    loop {
+        match cur.peek() {
+            None => return Err("unterminated string literal".into()),
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'"') => {
+                cur.bump();
+                return Ok(());
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+fn read_char_or_lifetime(cur: &mut Cursor) -> (TokenKind, String) {
+    let start = cur.pos;
+    cur.bump(); // the `'`
+    if cur.peek() == Some(b'\\') {
+        // Escaped char literal '\n', '\u{…}'.
+        cur.bump();
+        while let Some(b) = cur.peek() {
+            cur.bump();
+            if b == b'\'' {
+                break;
+            }
+        }
+        return (
+            TokenKind::Str,
+            String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        );
+    }
+    // `'a'` (char) vs `'a` / `'static` (lifetime): consume ident chars, then
+    // check for a closing quote.
+    if cur.peek().is_some_and(is_ident_start) {
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        if cur.peek() == Some(b'\'') {
+            cur.bump();
+            return (
+                TokenKind::Str,
+                String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+            );
+        }
+        return (
+            TokenKind::Lifetime,
+            String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        );
+    }
+    // Something like `'(' '` — a char literal of punctuation.
+    if let Some(b) = cur.peek() {
+        cur.bump();
+        if b != b'\'' && cur.peek() == Some(b'\'') {
+            cur.bump();
+        }
+    }
+    (
+        TokenKind::Str,
+        String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+    )
+}
+
+fn read_ident(cur: &mut Cursor) -> String {
+    let start = cur.pos;
+    // Raw identifier prefix r#.
+    if cur.peek() == Some(b'r') && cur.peek_at(1) == Some(b'#') && cur.peek_at(2).is_some_and(is_ident_start) {
+        cur.bump();
+        cur.bump();
+    }
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+fn read_number(cur: &mut Cursor) -> String {
+    let start = cur.pos;
+    // Leading digits (incl. 0x/0b/0o bodies, underscores, suffixes). A `.`
+    // is part of the number only when followed by a digit, so `1.max(2)`
+    // lexes as `1` `.` `max` … and method-call rules keep working.
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            cur.bump();
+        } else if b == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            cur.bump();
+        } else if (b == b'+' || b == b'-')
+            && matches!(cur.src.get(cur.pos.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+            && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            // Exponent sign inside `1e-3`.
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+/// Parses a `lint: allow(rule, …) reason="…"` directive out of a `//` comment
+/// body. Returns `None` for ordinary comments.
+fn parse_suppression(comment: &str) -> Option<Suppression> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("reason")
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('='))
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.find('"').map(|end| t[..end].to_string()))
+        .filter(|r| !r.trim().is_empty());
+    Some(Suppression {
+        rules,
+        reason,
+        line: 0,
+        col: 0,
+        own_line: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_inside_strings_are_not_tokens() {
+        let src = r#"let s = "Instant::now() // not a comment"; s.len()"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(ids.contains(&"len".to_string()));
+        // The string itself survives as a single Str token, quotes included.
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.starts_with('"') && strs[0].text.ends_with('"'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let ids = idents(r#"let s = "a \" HashMap \" b"; drop(s)"#);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"drop".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_guards_span_inner_quotes() {
+        let src = "let s = r##\"quote \" and #\" inside thread_rng\"##; use_it(s)";
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()), "{ids:?}");
+        assert!(ids.contains(&"use_it".to_string()));
+    }
+
+    #[test]
+    fn line_comments_hide_code() {
+        let ids = idents("let a = 1; // Instant::now()\nlet b = 2;");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped_entirely() {
+        let src = "before /* outer /* inner Instant */ still_comment */ after";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["before".to_string(), "after".to_string()]);
+    }
+
+    #[test]
+    fn char_literal_is_not_a_lifetime() {
+        let toks = lex("let c = 'a'; fn f<'a>(x: &'a str) {}").tokens;
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(chars.len(), 1, "one char literal");
+        assert_eq!(chars[0].text, "'a'");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "declaration + use");
+    }
+
+    #[test]
+    fn delimiters_nest_and_positions_are_tracked() {
+        let toks = lex("fn f() {\n    g([1, 2]);\n}").tokens;
+        let opens = toks.iter().filter(|t| t.kind == TokenKind::Open).count();
+        let closes = toks.iter().filter(|t| t.kind == TokenKind::Close).count();
+        assert_eq!(opens, 4);
+        assert_eq!(closes, 4);
+        let g = toks.iter().find(|t| t.text == "g").expect("g token");
+        assert_eq!((g.line, g.col), (2, 5));
+    }
+
+    #[test]
+    fn numeric_literals_lex_as_one_token() {
+        let toks = lex("let x = 1.5e3f64 + 0x_FF;").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e3f64", "0x_FF"]);
+    }
+
+    #[test]
+    fn unterminated_string_is_a_lex_error() {
+        let lexed = lex("let s = \"never closed");
+        assert_eq!(lexed.errors.len(), 1);
+        assert_eq!(lexed.errors[0].0, 1);
+    }
+
+    #[test]
+    fn trailing_suppression_is_parsed_with_reason() {
+        let lexed = lex("let x = v[0]; // lint: allow(panic003) reason=\"fixture\"\n");
+        assert_eq!(lexed.suppressions.len(), 1);
+        let s = &lexed.suppressions[0];
+        assert_eq!(s.rules, vec!["panic003".to_string()]);
+        assert_eq!(s.reason.as_deref(), Some("fixture"));
+        assert!(!s.own_line, "code precedes the comment on its line");
+    }
+
+    #[test]
+    fn own_line_suppression_lists_multiple_rules() {
+        let lexed = lex("// lint: allow(det001, det002) reason=\"both\"\nlet x = 1;\n");
+        assert_eq!(lexed.suppressions.len(), 1);
+        let s = &lexed.suppressions[0];
+        assert_eq!(s.rules, vec!["det001".to_string(), "det002".to_string()]);
+        assert!(s.own_line);
+        assert_eq!(s.line, 1);
+    }
+
+    #[test]
+    fn reasonless_suppression_has_no_reason() {
+        let lexed = lex("// lint: allow(det001)\nlet x = 1;\n");
+        assert_eq!(lexed.suppressions.len(), 1);
+        assert_eq!(lexed.suppressions[0].reason, None);
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_suppressions() {
+        let lexed = lex("// just a note about allow lists\nlet x = 1;\n");
+        assert!(lexed.suppressions.is_empty());
+    }
+}

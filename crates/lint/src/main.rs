@@ -1,0 +1,101 @@
+//! CLI entry point: `cargo run -p sizeless_lint -- check`.
+//!
+//! Subcommands:
+//!
+//! - `check [--root DIR] [--config FILE]` — sweep the workspace and exit
+//!   nonzero on any unsuppressed finding (the CI gate);
+//! - `rules` — print the rule registry.
+//!
+//! `--root` defaults to the workspace root (found by walking up from the
+//! current directory to the first `lint.toml`), so the binary works both
+//! from `cargo run` at the root and from a crate subdirectory.
+
+use sizeless_lint::{config::Config, lint_workspace, report, validate_config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sizeless_lint check [--root DIR] [--config FILE]\n       sizeless_lint rules";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            print!("{}", report::render_rules());
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--config" => config_path = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("sizeless-lint: no lint.toml found between here and /; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sizeless-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sizeless-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = validate_config(&config) {
+        eprintln!("sizeless-lint: {e}");
+        return ExitCode::from(2);
+    }
+    match lint_workspace(&root, &config) {
+        Ok(ws) => {
+            let (text, failed) = report::render(&ws);
+            print!("{text}");
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("sizeless-lint: sweep failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Diagnostic rendering: rustc-style `path:line:col` lines plus a summary.
+
+use crate::rules;
+use crate::scan::Finding;
+use crate::WorkspaceReport;
+use std::fmt::Write as _;
+
+/// Renders one finding as a `path:line:col: severity[rule]: message` line
+/// followed by the rule's rationale.
+pub fn render_finding(f: &Finding) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}:{}:{}: {}[{}]: {}",
+        f.path,
+        f.line,
+        f.col,
+        f.severity.label(),
+        f.rule,
+        f.message
+    );
+    if let Some(meta) = rules::rule(f.rule) {
+        let _ = writeln!(out, "    contract: {}", meta.summary);
+    }
+    out
+}
+
+/// Renders the full report; returns the text and whether the run failed.
+pub fn render(report: &WorkspaceReport) -> (String, bool) {
+    let mut out = String::new();
+    for (path, line, msg) in &report.lex_errors {
+        let _ = writeln!(out, "{path}:{line}:1: error[lex]: {msg}");
+    }
+    for f in &report.findings {
+        out.push_str(&render_finding(f));
+    }
+    let failed = report.deny_count() > 0;
+    let _ = writeln!(
+        out,
+        "sizeless-lint: {} file(s) scanned, {} finding(s), {} suppressed with reasons",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    );
+    if failed {
+        let _ = writeln!(
+            out,
+            "sizeless-lint: FAILED — fix the sites above or add a reasoned suppression \
+             (`// lint: allow(<rule>) reason=\"…\"` or a [[allow]] entry in lint.toml)"
+        );
+    } else {
+        let _ = writeln!(out, "sizeless-lint: OK");
+    }
+    (out, failed)
+}
+
+/// Renders the rule registry for `sizeless_lint rules`.
+pub fn render_rules() -> String {
+    let mut out = String::new();
+    for r in rules::RULES {
+        let _ = writeln!(out, "{:8} {:7} {}", r.id, r.severity.label(), r.summary);
+    }
+    out
+}

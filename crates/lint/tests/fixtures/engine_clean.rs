@@ -1,0 +1,26 @@
+//! Clean fixture: the same shape as `engine_instant.rs` but reading
+//! virtual time, hash-free and panic-free — the sweep must accept it.
+
+/// A simulation clock driven by the event queue, not the host.
+pub struct SimClock {
+    now_ms: f64,
+}
+
+impl SimClock {
+    /// Starts at virtual time zero.
+    pub fn start() -> Self {
+        SimClock { now_ms: 0.0 }
+    }
+
+    /// Advances to `t_ms` if it is later.
+    pub fn advance_to(&mut self, t_ms: f64) {
+        if t_ms > self.now_ms {
+            self.now_ms = t_ms;
+        }
+    }
+
+    /// Current virtual time, ms.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+}

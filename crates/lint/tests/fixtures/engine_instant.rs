@@ -1,0 +1,26 @@
+//! Violation fixture: what `crates/engine` would look like if someone
+//! reintroduced wall-clock time into the simulation core. Linted by
+//! `tests/fixtures_fail.rs` under a virtual `crates/engine/src/` path;
+//! excluded from the real sweep via `[paths] exclude` in `lint.toml`.
+
+use std::time::Instant;
+
+/// A "simulation clock" that secretly reads the host's wall clock —
+/// exactly the bug class det001 exists to catch.
+pub struct WallClock {
+    started: Instant,
+}
+
+impl WallClock {
+    /// Starts the clock at the real current time.
+    pub fn start() -> Self {
+        WallClock {
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds of *wall* time since start — nondeterministic.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}

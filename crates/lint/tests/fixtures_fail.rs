@@ -1,0 +1,68 @@
+//! The ISSUE's acceptance scenario, pinned as a test: reintroducing
+//! `Instant::now()` into `crates/engine` must fail the lint sweep. The
+//! offending source lives on disk in `tests/fixtures/` (excluded from the
+//! real sweep) and is linted here under a virtual `crates/engine/src/`
+//! path with the checked-in `lint.toml` — the exact configuration CI runs.
+
+use sizeless_lint::config::Config;
+use sizeless_lint::scan::lint_source;
+use std::fs;
+use std::path::Path;
+
+fn real_config() -> Config {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = fs::read_to_string(root.join("lint.toml")).expect("checked-in lint.toml");
+    Config::parse(&text).expect("lint.toml parses")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(path).expect("fixture exists")
+}
+
+#[test]
+fn reintroducing_instant_into_engine_fails_the_sweep() {
+    let src = fixture("engine_instant.rs");
+    let report = lint_source("crates/engine/src/wallclock.rs", &src, &real_config());
+    let det001: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "det001")
+        .collect();
+    assert!(
+        !det001.is_empty(),
+        "Instant in crates/engine must produce det001 findings"
+    );
+    // Spans point at the actual `Instant` tokens, not the whole file.
+    assert!(det001.iter().all(|f| f.line > 0 && f.col > 0));
+    assert!(det001.iter().any(|f| f.message.contains("SimTime")));
+}
+
+#[test]
+fn the_same_code_in_a_non_sim_crate_passes() {
+    // det001 is a *simulation* contract: the identical source under a
+    // crate that never feeds the simulator is accepted.
+    let src = fixture("engine_instant.rs");
+    let report = lint_source("crates/lint/src/wallclock.rs", &src, &real_config());
+    assert!(
+        report.findings.iter().all(|f| f.rule != "det001"),
+        "det001 must be scoped to [determinism] crates"
+    );
+}
+
+#[test]
+fn clean_engine_fixture_passes_the_sweep() {
+    let src = fixture("engine_clean.rs");
+    let report = lint_source("crates/engine/src/clock.rs", &src, &real_config());
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture must produce no findings, got {:?}",
+        report
+            .findings
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,38 @@
+//! `cargo test` enforces the lint contract even without the CI job: the
+//! real sweep over the real workspace with the checked-in `lint.toml`
+//! must come back clean, and every silenced site must carry a reason.
+
+use sizeless_lint::config::Config;
+use sizeless_lint::{lint_workspace, validate_config};
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = fs::read_to_string(root.join("lint.toml")).expect("checked-in lint.toml");
+    let config = Config::parse(&text).expect("lint.toml parses");
+    validate_config(&config).expect("every [[allow]] names a known rule");
+
+    let report = lint_workspace(&root, &config).expect("sweep succeeds");
+    assert!(report.files > 100, "sweep must cover the whole workspace");
+    assert!(
+        report.lex_errors.is_empty(),
+        "lexer must handle every first-party source: {:?}",
+        report.lex_errors
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}:{} {}", f.path, f.line, f.col, f.rule))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.suppressed > 0,
+        "the triaged suppressions must actually be exercised"
+    );
+}

@@ -200,11 +200,15 @@ fn pooled_report(fold_results: Vec<(Vec<f64>, Vec<f64>)>) -> CrossValReport {
     }
 
     CrossValReport {
+        // lint: allow(panic002) reason="every fold contributes at least one prediction"
         mse: regression::mse(&all_true, &all_pred).expect("non-empty predictions"),
+        // lint: allow(panic002) reason="ratio targets are clamped to at least 0.01, so no MAPE denominator is zero"
         mape: regression::mape(&all_true, &all_pred).expect("non-zero targets"),
         r_squared: regression::r_squared(&all_true, &all_pred)
+            // lint: allow(panic002) reason="ratio targets vary across the dataset, so variance is non-zero"
             .expect("non-constant targets"),
         explained_variance: regression::explained_variance(&all_true, &all_pred)
+            // lint: allow(panic002) reason="ratio targets vary across the dataset, so variance is non-zero"
             .expect("non-constant targets"),
     }
 }

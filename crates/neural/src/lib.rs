@@ -46,9 +46,6 @@
 //! assert!((pred.get(2, 0) - 2.0).abs() < 0.2);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod activation;
 pub mod crossval;
 pub mod grid;

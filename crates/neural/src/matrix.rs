@@ -56,6 +56,7 @@ impl Matrix {
     /// Panics if the rows have inconsistent lengths or the input is empty.
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         assert!(!rows.is_empty(), "matrix needs at least one row");
+        // lint: allow(panic003) reason="non-empty asserted on the line above"
         let cols = rows[0].len();
         assert!(cols > 0, "matrix needs at least one column");
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -373,6 +374,7 @@ impl Matrix {
                 ];
                 let mut acc = [[0.0f64; MR]; MR];
                 for k in 0..n {
+                    // lint: allow(panic003) reason="b_rows is a fixed four-element array built just above; indices 0..=3 are in bounds"
                     let bs = [b_rows[0][k], b_rows[1][k], b_rows[2][k], b_rows[3][k]];
                     for (acc_r, a_r) in acc.iter_mut().zip(&a_rows) {
                         let av = a_r[k];
@@ -547,6 +549,7 @@ fn mm_block<const R: usize>(
         for k in 0..n {
             let b_row: &[f64; NR] = b[k * p + jb..k * p + jb + NR]
                 .try_into()
+                // lint: allow(panic002) reason="the while condition guarantees jb + NR <= p, so the slice is exactly NR long"
                 .expect("NR-sized chunk");
             for (acc_r, a_r) in acc.iter_mut().zip(a_rows) {
                 let x = a_r[k];
@@ -593,9 +596,11 @@ fn mm_t_a_block<const R: usize>(
         for k in 0..depth {
             let a_chunk: &[f64; R] = a[k * n + i..k * n + i + R]
                 .try_into()
+                // lint: allow(panic002) reason="the caller advances i in full R-column steps, so the slice is exactly R long"
                 .expect("R-sized chunk");
             let b_row: &[f64; NR] = b[k * p + jb..k * p + jb + NR]
                 .try_into()
+                // lint: allow(panic002) reason="the while condition guarantees jb + NR <= p, so the slice is exactly NR long"
                 .expect("NR-sized chunk");
             for (acc_r, &x) in acc.iter_mut().zip(a_chunk) {
                 for (o, &bv) in acc_r.iter_mut().zip(b_row) {

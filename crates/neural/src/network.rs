@@ -129,11 +129,13 @@ impl NeuralNetwork {
 
     /// Input dimension.
     pub fn input_dim(&self) -> usize {
+        // lint: allow(panic003) reason="the constructor always pushes the output layer, so layers is non-empty"
         self.layers[0].input_dim()
     }
 
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
+        // lint: allow(panic002) reason="the constructor always pushes the output layer, so layers is non-empty"
         self.layers.last().expect("at least one layer").output_dim()
     }
 
@@ -200,6 +202,7 @@ impl NeuralNetwork {
         for (l, layer) in self.layers.iter().enumerate() {
             let (prev, rest) = scratch.acts.split_at_mut(l);
             let input: &Matrix = if l == 0 { &scratch.xb } else { &prev[l - 1] };
+            // lint: allow(panic003) reason="split_at_mut(l) with l < len leaves a non-empty tail"
             layer.forward_into(input, &mut rest[0]);
         }
 
@@ -214,6 +217,7 @@ impl NeuralNetwork {
         for l in (frozen..layer_count).rev() {
             let (prev, rest) = scratch.acts.split_at_mut(l);
             let input: &Matrix = if l == 0 { &scratch.xb } else { &prev[l - 1] };
+            // lint: allow(panic003) reason="split_at_mut(l) with l < len leaves a non-empty tail"
             let output = &rest[0];
             let grad_input = if l > frozen {
                 Some(&mut scratch.delta_next)
@@ -248,6 +252,7 @@ impl NeuralNetwork {
         // old implementation cloned every weight matrix per call).
         let mut a = Matrix::zeros(0, 0);
         let mut b = Matrix::zeros(0, 0);
+        // lint: allow(panic003) reason="the constructor always pushes the output layer, so layers is non-empty"
         self.layers[0].forward_into(x, &mut a);
         for layer in &self.layers[1..] {
             layer.forward_into(&a, &mut b);

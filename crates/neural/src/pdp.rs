@@ -73,6 +73,7 @@ pub fn pdp_influence(curve: &[PdpPoint]) -> f64 {
     if curve.is_empty() {
         return 0.0;
     }
+    // lint: allow(panic003) reason="guarded by the is_empty early return above"
     let targets = curve[0].mean_predictions.len();
     (0..targets)
         .map(|t| {

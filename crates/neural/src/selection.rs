@@ -30,7 +30,7 @@ impl SelectionResult {
             .mse_curve
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("MSE is never NaN"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         &self.order[..=best]
@@ -122,6 +122,7 @@ pub fn forward_selection_threaded(
                 _ => best = Some((pos, mse)),
             }
         }
+        // lint: allow(panic002) reason="remaining is non-empty inside the loop, so at least one score exists"
         let (pos, mse) = best.expect("remaining is non-empty");
         selected.push(remaining.remove(pos));
         mse_curve.push(mse);

@@ -47,6 +47,7 @@ impl ColdStartModel {
         rng: &mut RngStream,
     ) -> f64 {
         let fixed = LogNormal::with_mean(self.provision_ms + self.runtime_boot_ms, self.sigma)
+            // lint: allow(panic002) reason="mean and sigma are fixed positive model constants, so the distribution is valid"
             .expect("validated parameters")
             .sample(rng);
         let load_ms =

@@ -218,6 +218,7 @@ pub fn execute(
 
     // Platform jitter and multiplicative noise on the wall clock.
     let noise = LogNormal::with_mean(1.0, DURATION_NOISE_SIGMA)
+        // lint: allow(panic002) reason="mean and sigma are fixed positive constants, so the distribution is valid"
         .expect("constant sigma is valid")
         .sample(rng);
     let jitter_ms = 0.4 + 0.6 * rng.next_f64();

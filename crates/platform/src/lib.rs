@@ -50,9 +50,6 @@
 //! assert!(fast.duration_ms < slow.duration_ms);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod coldstart;
 pub mod error;
 pub mod execution;

@@ -154,6 +154,7 @@ impl WarmPool {
     /// [`WarmPool::try_begin`] for bounded pools.
     pub fn begin(&mut self, at_ms: f64) -> (InstanceId, bool) {
         self.try_begin(at_ms)
+            // lint: allow(panic002) reason="documented # Panics contract: bounded pools must use try_begin"
             .expect("warm pool at capacity (use try_begin for bounded pools)")
     }
 
@@ -200,11 +201,7 @@ impl WarmPool {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.is_idle())
-            .min_by(|(_, a), (_, b)| {
-                a.last_release_ms
-                    .partial_cmp(&b.last_release_ms)
-                    .expect("release times are never NaN")
-            })
+            .min_by(|(_, a), (_, b)| a.last_release_ms.total_cmp(&b.last_release_ms))
             .map(|(i, _)| i);
         match lru {
             Some(i) => {
@@ -248,7 +245,7 @@ impl WarmPool {
             .iter()
             .filter(|s| s.is_idle())
             .map(|s| s.last_release_ms)
-            .min_by(|a, b| a.partial_cmp(b).expect("release times are never NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Reclaims every idle instance at the end of a run, accruing trailing

@@ -117,7 +117,7 @@ mod tests {
             times
                 .iter()
                 .map(|(&m, &t)| (m, platform.pricing().cost_usd(t, m)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty")
                 .0
         };

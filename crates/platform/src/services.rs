@@ -118,6 +118,7 @@ impl ServiceModel {
     pub fn sample_latency_ms(&self, payload_kb: f64, rng: &mut RngStream) -> f64 {
         let mean = self.base_latency_ms + self.per_kb_ms * payload_kb;
         LogNormal::with_mean(mean, self.sigma)
+            // lint: allow(panic002) reason="latency parameters are validated positive at construction"
             .expect("validated at construction")
             .sample(rng)
     }

@@ -82,7 +82,7 @@ pub fn cliffs_delta(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
     validate(a)?;
     validate(b)?;
     let mut sb = b.to_vec();
-    sb.sort_by(|l, r| l.partial_cmp(r).expect("NaN filtered by validate"));
+    sb.sort_by(|l, r| l.total_cmp(r));
 
     let mut dominance: i64 = 0;
     for &x in a {

@@ -60,7 +60,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
 /// Assigns mid-ranks (1-based) to a sample, averaging ranks over ties.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("NaN not supported"));
+    idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -90,7 +90,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     validate(xs)?;
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered by validate"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

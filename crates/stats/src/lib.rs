@@ -25,9 +25,6 @@
 //! assert_eq!(s.mean(), 2.5);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cliffs;
 pub mod correlation;
 pub mod descriptive;

@@ -78,7 +78,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitneyResult, StatsEr
         .map(|&x| (x, true))
         .chain(b.iter().map(|&x| (x, false)))
         .collect();
-    pooled.sort_by(|l, r| l.0.partial_cmp(&r.0).expect("NaN filtered by validate"));
+    pooled.sort_by(|l, r| l.0.total_cmp(&r.0));
 
     let mut rank_sum_a = 0.0;
     let mut tie_term = 0.0;

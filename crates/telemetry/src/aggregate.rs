@@ -44,6 +44,7 @@ impl MetricVector {
         for metric in Metric::ALL {
             buf.clear();
             buf.extend(samples.iter().map(|s| s.value(metric)));
+            // lint: allow(panic002) reason="samples is asserted non-empty above, so every metric buffer is non-empty"
             let summary = Summary::from_slice(&buf).expect("window is non-empty");
             aggregates[metric.index()] = MetricAggregate {
                 mean: summary.mean(),

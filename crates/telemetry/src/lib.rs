@@ -27,9 +27,6 @@
 //!   incrementally-maintained monitoring window of the online sizing
 //!   service, bit-identical in aggregation to the batch [`MetricVector`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod aggregate;
 pub mod fleet;
 pub mod metric;

@@ -143,6 +143,7 @@ pub fn unstable_counts(analyses: &[StabilityAnalysis]) -> Vec<[usize; METRIC_COU
     if analyses.is_empty() {
         return Vec::new();
     }
+    // lint: allow(panic003) reason="guarded by the is_empty early return above"
     let n_windows = analyses[0].windows_ms().len();
     let mut counts = vec![[0usize; METRIC_COUNT]; n_windows];
     for a in analyses {

@@ -66,6 +66,7 @@ impl ArrivalProcess {
         let mean_gap_ms = 1000.0 / self.rps;
         match self.kind {
             ArrivalKind::Poisson => Exponential::with_mean(mean_gap_ms)
+                // lint: allow(panic002) reason="the request rate is validated positive at construction, so the mean gap is positive"
                 .expect("positive mean")
                 .sample(rng),
             ArrivalKind::Constant => mean_gap_ms,

@@ -72,6 +72,7 @@ impl BurstyArrival {
     /// arrival at a time.
     pub fn sampler(&self, rng: &mut RngStream) -> BurstySampler {
         let state_end = Exponential::with_mean(self.mean_base_ms)
+            // lint: allow(panic002) reason="MMPP sojourn parameters are validated positive at construction"
             .expect("positive sojourn")
             .sample(rng);
         BurstySampler {
@@ -120,12 +121,16 @@ impl BurstySampler {
     /// advancing through state switches as needed.
     pub fn next_gap_ms(&mut self, rng: &mut RngStream) -> f64 {
         let base_gap =
+            // lint: allow(panic002) reason="MMPP parameters are validated positive at construction"
             Exponential::with_mean(1000.0 / self.process.base_rps).expect("positive rate");
         let burst_gap =
+            // lint: allow(panic002) reason="MMPP parameters are validated positive at construction"
             Exponential::with_mean(1000.0 / self.process.burst_rps).expect("positive rate");
         let base_sojourn =
+            // lint: allow(panic002) reason="MMPP parameters are validated positive at construction"
             Exponential::with_mean(self.process.mean_base_ms).expect("positive sojourn");
         let burst_sojourn =
+            // lint: allow(panic002) reason="MMPP parameters are validated positive at construction"
             Exponential::with_mean(self.process.mean_burst_ms).expect("positive sojourn");
 
         let prev = self.t;

@@ -17,9 +17,6 @@
 //!   per-experiment RNG streams (deterministic regardless of thread
 //!   interleaving).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod arrival;
 pub mod bursty;
 pub mod harness;

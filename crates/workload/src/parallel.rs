@@ -43,6 +43,7 @@ pub fn measure_parallel(
 
     results
         .into_iter()
+        // lint: allow(panic002) reason="the scope joins all workers first and every trial index is claimed exactly once"
         .map(|slot| slot.into_inner().expect("every job completed"))
         .collect()
 }

@@ -42,8 +42,6 @@
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the binaries that regenerate every table and figure of the paper.
 
-#![forbid(unsafe_code)]
-
 pub use sizeless_apps as apps;
 pub use sizeless_core as core;
 pub use sizeless_engine as engine;
