@@ -1,0 +1,180 @@
+//! Engine event-churn benchmark and the checked-in perf trajectory.
+//!
+//! Two layers:
+//!
+//! * Criterion smoke benches (stdout): raw discrete-event churn through
+//!   [`Simulation`], and a short fleet run with the zero-cost [`NullSink`]
+//!   vs a recording [`RingBufferSink`] — the tracing overhead comparison.
+//! * A perf-trajectory writer: the same workloads timed directly
+//!   (best-of-5 wall clock) and persisted as events-per-second figures to
+//!   `BENCH_engine_events.json` at the workspace root, so the repo carries
+//!   a comparable throughput record from run to run. CI regenerates the
+//!   file and fails if it goes missing.
+
+use criterion::{black_box, Criterion};
+use serde::Serialize;
+use sizeless_engine::{SimDuration, SimTime, Simulation};
+use sizeless_fleet::{
+    Fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind, SchedulerKind,
+};
+use sizeless_obs::RingBufferSink;
+use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
+use sizeless_workload::ArrivalProcess;
+use std::time::Instant;
+
+/// Independent event chains in the raw churn workload.
+const CHAINS: usize = 16;
+/// Virtual horizon of the raw churn workload, ms (1 ms steps per chain).
+const HORIZON_MS: u64 = 2_000;
+
+/// Runs `CHAINS` self-rescheduling 1 ms event chains to `HORIZON_MS` and
+/// returns the number of events executed.
+fn raw_engine_churn() -> u64 {
+    struct Tally(u64);
+    fn tick(sim: &mut Simulation<Tally>, state: &mut Tally) {
+        state.0 += 1;
+        if sim.now() < SimTime::from_millis(HORIZON_MS as f64) {
+            sim.schedule_in(SimDuration::from_millis(1.0), tick);
+        }
+    }
+    let mut sim: Simulation<Tally> = Simulation::new();
+    let mut state = Tally(0);
+    for chain in 0..CHAINS {
+        sim.schedule_at(SimTime::from_millis(chain as f64 / CHAINS as f64), tick);
+    }
+    sim.run_to_completion(&mut state);
+    assert_eq!(state.0, sim.stats().executed);
+    sim.stats().executed
+}
+
+/// The fleet workload both sink variants run: 4 hosts, one CPU-bound
+/// function at 80 rps for 5 virtual seconds.
+fn fleet_functions() -> Vec<FleetFunction> {
+    vec![FleetFunction::new(
+        FunctionConfig::new(
+            ResourceProfile::builder("bench-events")
+                .stage(Stage::cpu("work", 18.0))
+                .build(),
+            MemorySize::MB_512,
+        ),
+        FleetArrival::Steady(ArrivalProcess::poisson(80.0)),
+    )]
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig::new(4, 2048.0, 5_000.0, 7)
+}
+
+fn build_fleet(platform: &Platform) -> Fleet {
+    let functions = fleet_functions();
+    let default_ttl = platform.cold_start_model().idle_ttl_ms;
+    Fleet::new(
+        platform,
+        &fleet_config(),
+        &functions,
+        SchedulerKind::WarmFirst.build(),
+        KeepAliveKind::Adaptive.build(functions.len(), default_ttl),
+    )
+}
+
+/// Events executed by one fleet run with the zero-cost null sink.
+fn fleet_null_run(platform: &Platform) -> u64 {
+    build_fleet(platform).run().sim.events_executed
+}
+
+/// Events executed by one fleet run recording into a ring buffer.
+fn fleet_ring_run(platform: &Platform) -> u64 {
+    let (report, sink) = build_fleet(platform)
+        .with_trace(RingBufferSink::new(4096))
+        .run_traced();
+    assert!(sink.recorded() > 0, "traced run recorded nothing");
+    report.sim.events_executed
+}
+
+fn bench_engine_churn(c: &mut Criterion) {
+    c.bench_function("engine/churn/16x2000_events", |b| {
+        b.iter(|| black_box(raw_engine_churn()))
+    });
+}
+
+fn bench_traced_fleet(c: &mut Criterion) {
+    let platform = Platform::aws_like();
+    let mut group = c.benchmark_group("engine/fleet_run");
+    group.bench_function("null_sink", |b| {
+        b.iter(|| black_box(fleet_null_run(&platform)))
+    });
+    group.bench_function("ring_sink_4096", |b| {
+        b.iter(|| black_box(fleet_ring_run(&platform)))
+    });
+    group.finish();
+}
+
+/// One timed workload in the perf trajectory.
+#[derive(Serialize)]
+struct Throughput {
+    events_executed: u64,
+    best_elapsed_ns: u64,
+    events_per_sec: f64,
+}
+
+/// The checked-in perf-trajectory document.
+#[derive(Serialize)]
+struct Trajectory {
+    bench: &'static str,
+    repetitions: u32,
+    engine_churn: Throughput,
+    fleet_null_sink: Throughput,
+    fleet_ring_sink: Throughput,
+    /// Ring-buffer tracing cost relative to the null sink, percent of the
+    /// null-sink run time (wall clock; machine-dependent, sign included).
+    ring_overhead_pct: f64,
+}
+
+/// Best-of-`reps` wall-clock timing of `run`, which returns the event count.
+fn measure(reps: u32, mut run: impl FnMut() -> u64) -> Throughput {
+    let mut best_ns = u64::MAX;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        events = black_box(run());
+        best_ns = best_ns.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    Throughput {
+        events_executed: events,
+        best_elapsed_ns: best_ns,
+        events_per_sec: events as f64 / (best_ns as f64 / 1e9),
+    }
+}
+
+/// Times all three workloads and writes `BENCH_engine_events.json` at the
+/// workspace root.
+fn write_perf_trajectory() {
+    const REPS: u32 = 5;
+    let platform = Platform::aws_like();
+    let engine_churn = measure(REPS, raw_engine_churn);
+    let fleet_null_sink = measure(REPS, || fleet_null_run(&platform));
+    let fleet_ring_sink = measure(REPS, || fleet_ring_run(&platform));
+    let ring_overhead_pct = (fleet_ring_sink.best_elapsed_ns as f64
+        / fleet_null_sink.best_elapsed_ns as f64
+        - 1.0)
+        * 100.0;
+    let trajectory = Trajectory {
+        bench: "engine_events",
+        repetitions: REPS,
+        engine_churn,
+        fleet_null_sink,
+        fleet_ring_sink,
+        ring_overhead_pct,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine_events.json");
+    let json = serde_json::to_string_pretty(&trajectory).expect("serialize trajectory");
+    std::fs::write(path, json + "\n").expect("write BENCH_engine_events.json");
+    println!("perf trajectory written to {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_engine_churn(&mut criterion);
+    bench_traced_fleet(&mut criterion);
+    write_perf_trajectory();
+}

@@ -28,10 +28,12 @@ use serde::Serialize;
 use sizeless_bench::{pct, print_table, ExperimentContext};
 use sizeless_core::service::{ServiceConfig, SizingService};
 use sizeless_core::trainer::TrainerConfig;
+use sizeless_engine::Simulation;
 use sizeless_fleet::{
-    run_fleet, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction, FleetReport,
+    run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction, FleetReport,
     KeepAliveKind, SchedulerKind,
 };
+use sizeless_obs::MemorySink;
 use sizeless_platform::{
     FunctionConfig, MemorySize, Platform, ResourceProfile, ServiceCall, ServiceKind, Stage,
 };
@@ -302,6 +304,51 @@ fn main() {
             rs < st,
             "closed loop must beat the static base-size fleet on GB·s/request ({workload}: {rs:.4} vs {st:.4})"
         );
+    }
+
+    // `--trace` / `--metrics`: replay the first Poisson closed-loop run
+    // with a recording sink and a metrics registry attached. The
+    // instrumentation must not perturb the simulation: the traced replay
+    // has to reproduce the untraced report bit for bit, or we abort.
+    if ctx.trace.is_some() || ctx.metrics.is_some() {
+        let config = FleetConfig::new(8, 8192.0, duration_ms, ctx.seed);
+        let fns = functions(false);
+        let default_ttl = platform.cold_start_model().idle_ttl_ms;
+        let mut fleet = Fleet::new(
+            &platform,
+            &config,
+            &fns,
+            SchedulerKind::WarmFirst.build(),
+            KeepAliveKind::Adaptive.build(fns.len(), default_ttl),
+        )
+        .with_sizing(SizingService::new(sizer.clone(), service_cfg))
+        .with_metrics()
+        .with_trace(MemorySink::new());
+        let mut sim: Simulation<_> = Simulation::new();
+        fleet.prime(&mut sim);
+        sim.run_to_completion(&mut fleet);
+        let snapshot = fleet
+            .metrics()
+            .map(|m| m.snapshot_json(sim.now().as_millis()));
+        let (report, sink) = fleet.into_report_and_sink(&sim);
+        assert_eq!(
+            report, rows[0].rightsized_report,
+            "tracing perturbed the closed-loop run"
+        );
+        if let Some(path) = &ctx.trace {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+            }
+            std::fs::write(path, sink.to_jsonl()).expect("write trace");
+            eprintln!("[trace] wrote {} events to {}", sink.len(), path.display());
+        }
+        if let (Some(path), Some(snapshot)) = (&ctx.metrics, snapshot) {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create metrics dir");
+            }
+            std::fs::write(path, snapshot).expect("write metrics snapshot");
+            eprintln!("[metrics] wrote {}", path.display());
+        }
     }
 
     ctx.write_json("fleet_rightsizing.json", &rows);

@@ -15,7 +15,13 @@
 //! * `--artifact <path>` — persist the trained sizer artifact and reuse it
 //!   on later runs; artifacts are versioned against the training
 //!   configuration ([`TrainerConfig::artifact_hash`]) and a mismatch is a
-//!   hard error, never a silent retrain.
+//!   hard error, never a silent retrain;
+//! * `--trace <path>` — write a structured JSONL trace of the run (one
+//!   deterministic, virtual-time-stamped event per line, byte-identical
+//!   across replays and thread counts);
+//! * `--metrics <path>` — write a metrics-registry JSON snapshot (monotone
+//!   counters plus log-scale latency histograms) taken at the end of the
+//!   run's virtual clock.
 //!
 //! Binaries print paper-style tables to stdout and persist JSON into the
 //! results directory so `EXPERIMENTS.md` numbers are regenerable.
@@ -43,6 +49,10 @@ pub struct ExperimentContext {
     pub threads: usize,
     /// Trained-artifact file to reuse/persist across runs, if given.
     pub artifact: Option<PathBuf>,
+    /// Destination for a structured JSONL trace of the run, if given.
+    pub trace: Option<PathBuf>,
+    /// Destination for a metrics-registry JSON snapshot, if given.
+    pub metrics: Option<PathBuf>,
 }
 
 /// The `--help` text shared by every experiment binary.
@@ -61,6 +71,12 @@ Shared experiment flags:
                      are versioned against the training
                      configuration and a mismatch is a hard
                      error                                      (default: retrain per run)
+  --trace <path>     write a structured JSONL trace of the run
+                     (one deterministic, virtual-time-stamped
+                     event per line) to this file               (default: no trace)
+  --metrics <path>   write a metrics-registry JSON snapshot
+                     (counters + log-scale histograms) to this
+                     file                                       (default: no snapshot)
   --help, -h         print this help and exit";
 
 /// How argument parsing ended when it did not produce a context.
@@ -106,6 +122,8 @@ impl ExperimentContext {
             out_dir: PathBuf::from("results"),
             threads: 0,
             artifact: None,
+            trace: None,
+            metrics: None,
         };
         let mut args = args.into_iter();
         while let Some(flag) = args.next() {
@@ -141,6 +159,12 @@ impl ExperimentContext {
                 "--artifact" => {
                     ctx.artifact = Some(PathBuf::from(value("--artifact")?));
                 }
+                "--trace" => {
+                    ctx.trace = Some(PathBuf::from(value("--trace")?));
+                }
+                "--metrics" => {
+                    ctx.metrics = Some(PathBuf::from(value("--metrics")?));
+                }
                 "--threads" => {
                     let v = value("--threads")?;
                     ctx.threads = v.parse().map_err(|_| {
@@ -154,7 +178,7 @@ impl ExperimentContext {
                 }
                 other => {
                     return Err(ArgsError::Invalid(format!(
-                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads/--artifact)"
+                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads/--artifact/--trace/--metrics)"
                     )));
                 }
             }
@@ -403,6 +427,8 @@ mod tests {
             out_dir: PathBuf::from("/tmp"),
             threads: 0,
             artifact: None,
+            trace: None,
+            metrics: None,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 200);
@@ -417,6 +443,8 @@ mod tests {
             out_dir: PathBuf::from("/tmp"),
             threads: 0,
             artifact: None,
+            trace: None,
+            metrics: None,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 2000);
@@ -437,7 +465,7 @@ mod tests {
     fn parse_accepts_all_shared_flags() {
         let ctx = parse(&[
             "--seed", "7", "--scale", "2.5", "--out", "/tmp/x", "--threads", "3", "--artifact",
-            "/tmp/x/sizer.json",
+            "/tmp/x/sizer.json", "--trace", "/tmp/x/run.jsonl", "--metrics", "/tmp/x/metrics.json",
         ])
         .unwrap();
         assert_eq!(ctx.seed, 7);
@@ -445,6 +473,8 @@ mod tests {
         assert_eq!(ctx.out_dir, PathBuf::from("/tmp/x"));
         assert_eq!(ctx.threads, 3);
         assert_eq!(ctx.artifact, Some(PathBuf::from("/tmp/x/sizer.json")));
+        assert_eq!(ctx.trace, Some(PathBuf::from("/tmp/x/run.jsonl")));
+        assert_eq!(ctx.metrics, Some(PathBuf::from("/tmp/x/metrics.json")));
     }
 
     #[test]
@@ -455,6 +485,8 @@ mod tests {
         assert_eq!(ctx.out_dir, PathBuf::from("results"));
         assert_eq!(ctx.threads, 0);
         assert_eq!(ctx.artifact, None);
+        assert_eq!(ctx.trace, None);
+        assert_eq!(ctx.metrics, None);
     }
 
     #[test]
@@ -478,6 +510,10 @@ mod tests {
         assert!(matches!(parse(&["--seed", "--scale", "2"]), Err(ArgsError::Invalid(_))));
         assert!(matches!(parse(&["--artifact"]), Err(ArgsError::Invalid(_))));
         assert!(matches!(parse(&["--artifact", "--seed"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--trace"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--trace", "--seed", "1"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--metrics"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--metrics", "--out", "x"]), Err(ArgsError::Invalid(_))));
     }
 
     #[test]

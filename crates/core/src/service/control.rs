@@ -60,6 +60,11 @@ impl PlaneHandle {
         self.base
     }
 
+    /// Activity tallies of the plane behind this handle so far.
+    pub(super) fn stats(&self) -> PlaneStats {
+        self.state.borrow().stats
+    }
+
     /// Serves one recommendation from the current artifact.
     pub(super) fn recommend(&self, metrics: &MetricVector) -> Recommendation {
         let mut state = self.state.borrow_mut();

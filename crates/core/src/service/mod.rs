@@ -325,6 +325,13 @@ impl SizingService {
         &self.stats
     }
 
+    /// Activity tallies of the control plane this service hangs off —
+    /// lets the embedding fleet watch for shared-artifact updates without
+    /// holding its own plane handle.
+    pub fn plane_stats(&self) -> PlaneStats {
+        self.plane.stats()
+    }
+
     /// The cached recommendation for a function, if one has been issued.
     pub fn recommendation(&self, fn_id: usize) -> Option<&Recommendation> {
         self.state(fn_id)?.recommendation.as_ref()

@@ -47,5 +47,5 @@ pub mod prelude {
 pub use dist::Distribution;
 pub use queue::EventQueue;
 pub use rng::{fnv1a, RngStream};
-pub use sim::Simulation;
+pub use sim::{SimStats, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -61,6 +61,7 @@ impl<T> PartialOrd for Scheduled<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Scheduled<T>>,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<T> EventQueue<T> {
@@ -69,6 +70,7 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -77,6 +79,7 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
@@ -97,6 +100,17 @@ impl<T> EventQueue<T> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled on this queue.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The most events that were ever pending at once (queue depth
+    /// high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -147,6 +161,22 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth_not_current() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_millis(i as f64), i);
+        }
+        assert_eq!(q.high_water(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_water(), 5, "draining must not lower the mark");
+        q.schedule(SimTime::from_millis(9.0), 9);
+        assert_eq!(q.high_water(), 5, "refilling below the peak keeps it");
+        assert_eq!(q.scheduled(), 6);
     }
 
     #[test]

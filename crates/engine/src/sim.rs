@@ -12,6 +12,18 @@ use crate::time::{SimDuration, SimTime};
 /// An event handler: receives the simulation so it can schedule more events.
 type Handler<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
 
+/// A snapshot of a simulation's run counters, for post-run introspection
+/// and the events/sec benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events executed so far.
+    pub executed: u64,
+    /// Handlers ever scheduled (executed + pending + any dropped on exit).
+    pub scheduled: u64,
+    /// The most events that were ever pending at once.
+    pub peak_pending: usize,
+}
+
 /// A discrete-event simulation over domain state `S`.
 ///
 /// # Examples
@@ -67,6 +79,16 @@ impl<S> Simulation<S> {
     /// Number of pending events.
     pub fn pending_events(&self) -> usize {
         self.events.len()
+    }
+
+    /// A snapshot of the run counters: events executed, handlers ever
+    /// scheduled, and the queue-depth high-water mark.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            executed: self.executed,
+            scheduled: self.events.scheduled(),
+            peak_pending: self.events.high_water(),
+        }
     }
 
     /// Schedules `handler` at absolute time `at`.
@@ -242,6 +264,18 @@ mod tests {
         assert!(!sim.step(&mut log), "drained queue steps no further");
         assert_eq!(sim.peek_time(), None);
         assert_eq!(log, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn stats_reports_executed_scheduled_and_peak() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 1..=4 {
+            sim.schedule_at(SimTime::from_millis(i as f64), |_, c| *c += 1);
+        }
+        assert_eq!(sim.stats(), SimStats { executed: 0, scheduled: 4, peak_pending: 4 });
+        let mut c = 0;
+        sim.run_to_completion(&mut c);
+        assert_eq!(sim.stats(), SimStats { executed: 4, scheduled: 4, peak_pending: 4 });
     }
 
     #[test]

@@ -29,14 +29,76 @@ use crate::keepalive::{KeepAliveKind, KeepAlivePolicy};
 use crate::limits::{ConcurrencyLimits, ThrottleReason};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::stats::{FleetReport, RightsizingReport};
-use sizeless_core::service::{DirectiveReason, RouteDecision, SizingDirective, SizingService};
+use sizeless_core::service::{
+    DirectiveReason, FnPhase, RouteDecision, SizingDirective, SizingService,
+};
 use sizeless_engine::{RngStream, SimTime, Simulation};
+use sizeless_obs::{
+    CounterId, HistogramId, LoopPhase, MetricsRegistry, NullSink, ResizeCause, ThrottleCause,
+    TraceEvent, TraceSink,
+};
 use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile};
 use sizeless_telemetry::{
     FleetCounters, FleetMetrics, InvocationSample, ResourceMonitor, RightsizingCounters,
-    RightsizingMetrics,
+    RightsizingMetrics, SimRunStats,
 };
 use sizeless_workload::{ArrivalProcess, BurstyArrival, BurstySampler};
+
+/// Maps the sizing service's phase enum onto the obs crate's primitive
+/// mirror (obs sits below the core crate and cannot name its types).
+fn loop_phase(p: FnPhase) -> LoopPhase {
+    match p {
+        FnPhase::Measuring => LoopPhase::Measuring,
+        FnPhase::Referencing => LoopPhase::Referencing,
+        FnPhase::Watching => LoopPhase::Watching,
+        FnPhase::Shadowing => LoopPhase::Shadowing,
+    }
+}
+
+/// Maps a directive reason onto the obs crate's resize-cause mirror.
+fn resize_cause(r: DirectiveReason) -> ResizeCause {
+    match r {
+        DirectiveReason::Calibrate => ResizeCause::Calibrate,
+        DirectiveReason::Recommend => ResizeCause::Recommend,
+        DirectiveReason::Drift => ResizeCause::Drift,
+    }
+}
+
+/// The fleet's metrics instrumentation: a registry plus pre-registered
+/// handles so hot-path updates are plain indexed increments (no name
+/// lookups, no allocation).
+struct FleetObs {
+    registry: MetricsRegistry,
+    dispatches: CounterId,
+    cold_starts: CounterId,
+    throttles: CounterId,
+    evictions: CounterId,
+    resizes: CounterId,
+    shadow_routes: CounterId,
+    drift_detections: CounterId,
+    latency_ms: HistogramId,
+    exec_ms: HistogramId,
+    init_ms: HistogramId,
+}
+
+impl FleetObs {
+    fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        FleetObs {
+            dispatches: registry.counter("dispatches"),
+            cold_starts: registry.counter("cold_starts"),
+            throttles: registry.counter("throttles"),
+            evictions: registry.counter("evictions"),
+            resizes: registry.counter("resizes_applied"),
+            shadow_routes: registry.counter("shadow_routes"),
+            drift_detections: registry.counter("drift_detections"),
+            latency_ms: registry.histogram("latency_ms"),
+            exec_ms: registry.histogram("exec_ms"),
+            init_ms: registry.histogram("init_ms"),
+            registry,
+        }
+    }
+}
 
 /// The arrival process driving one fleet function.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,7 +254,12 @@ struct SizingLoop {
 }
 
 /// A configured cluster simulation, ready to [`Fleet::run`].
-pub struct Fleet {
+///
+/// The `S` parameter is the trace sink every lifecycle event is recorded
+/// into. It defaults to [`NullSink`], whose `record` is an empty inline
+/// function — an un-traced fleet compiles the instrumentation away and
+/// behaves exactly as before. [`Fleet::with_trace`] swaps in a real sink.
+pub struct Fleet<S: TraceSink = NullSink> {
     platform: Platform,
     functions: Vec<FleetFunction>,
     arrivals: Vec<ArrivalState>,
@@ -209,6 +276,8 @@ pub struct Fleet {
     sched_rng: RngStream,
     monitor_rng: RngStream,
     sizing: Option<SizingLoop>,
+    sink: S,
+    obs: Option<FleetObs>,
 }
 
 impl Fleet {
@@ -264,7 +333,62 @@ impl Fleet {
             sched_rng: root.derive("scheduler"),
             monitor_rng: root.derive("monitor"),
             sizing: None,
+            sink: NullSink,
+            obs: None,
         }
+    }
+}
+
+impl<S: TraceSink + 'static> Fleet<S> {
+    /// Replaces the trace sink, rebinding the fleet to sink type `T`.
+    /// Everything recorded so far stays with the old sink (swap before
+    /// running). Virtual-time stamps make the resulting trace byte-stable
+    /// across repeated seeds and worker-thread counts.
+    pub fn with_trace<T: TraceSink>(self, sink: T) -> Fleet<T> {
+        Fleet {
+            platform: self.platform,
+            functions: self.functions,
+            arrivals: self.arrivals,
+            hosts: self.hosts,
+            scheduler: self.scheduler,
+            keepalive: self.keepalive,
+            limits: self.limits,
+            counters: self.counters,
+            max_latency_ms: self.max_latency_ms,
+            duration_ms: self.duration_ms,
+            default_ttl_ms: self.default_ttl_ms,
+            check_invariants: self.check_invariants,
+            exec_rng: self.exec_rng,
+            sched_rng: self.sched_rng,
+            monitor_rng: self.monitor_rng,
+            sizing: self.sizing,
+            sink,
+            obs: self.obs,
+        }
+    }
+
+    /// Enables the metrics registry: deterministic log-scale latency
+    /// histograms and monotone counters, snapshottable as JSON at any
+    /// virtual time via [`Fleet::metrics`].
+    pub fn with_metrics(mut self) -> Self {
+        self.obs = Some(FleetObs::new());
+        self
+    }
+
+    /// The trace sink (e.g. to export a collected trace).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink — external drivers record
+    /// cross-fleet events (e.g. region handoffs) through this.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// The metrics registry, when enabled with [`Fleet::with_metrics`].
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.obs.as_ref().map(|o| &o.registry)
     }
 
     /// Embeds an online [`SizingService`]: every completion's monitoring
@@ -293,18 +417,28 @@ impl Fleet {
         }
     }
 
+    /// Records a throttle rejection into the trace and metrics layers.
+    fn trace_throttle(&mut self, now_ms: f64, fn_id: usize, cause: ThrottleCause) {
+        self.sink.record(now_ms, TraceEvent::Throttle { fn_id: fn_id as u32, cause });
+        if let Some(o) = self.obs.as_mut() {
+            o.registry.inc(o.throttles);
+        }
+    }
+
     /// Handles one request for `fn_id` arriving at `now_ms`.
-    fn dispatch(&mut self, sim: &mut Simulation<Fleet>, fn_id: usize, now_ms: f64) {
+    fn dispatch(&mut self, sim: &mut Simulation<Self>, fn_id: usize, now_ms: f64) {
         self.counters.submitted += 1;
         self.keepalive.observe_arrival(fn_id, now_ms);
         match self.limits.try_acquire(fn_id) {
             Ok(()) => {}
             Err(ThrottleReason::FunctionLimit) => {
                 self.counters.throttled_function += 1;
+                self.trace_throttle(now_ms, fn_id, ThrottleCause::Function);
                 return;
             }
             Err(ThrottleReason::AccountLimit) => {
                 self.counters.throttled_account += 1;
+                self.trace_throttle(now_ms, fn_id, ThrottleCause::Account);
                 return;
             }
             Err(ThrottleReason::CapacityExhausted) => {
@@ -324,20 +458,55 @@ impl Fleet {
             },
             None => (deployed, fn_id),
         };
+        if pool != fn_id {
+            self.sink.record(
+                now_ms,
+                TraceEvent::ShadowRoute { fn_id: fn_id as u32, base_mb: memory.mb() },
+            );
+            if let Some(o) = self.obs.as_mut() {
+                o.registry.inc(o.shadow_routes);
+            }
+        }
         let mem_mb = f64::from(memory.mb());
-        let placement = self
-            .scheduler
-            .select_host(pool, mem_mb, &mut self.hosts, now_ms, &mut self.sched_rng)
-            .and_then(|h| {
-                self.hosts[h]
-                    .try_begin(pool, mem_mb, self.default_ttl_ms, now_ms)
-                    .map(|(p, cold)| (h, p, cold))
-            });
-        let Some((host, placement, cold)) = placement else {
+        let selected =
+            self.scheduler
+                .select_host(pool, mem_mb, &mut self.hosts, now_ms, &mut self.sched_rng);
+        let placement = selected.and_then(|h| {
+            // Placing may evict idle instances; the eviction delta around
+            // try_begin attributes them to this dispatch.
+            let evicted_before = self.hosts[h].evictions();
+            self.hosts[h]
+                .try_begin(pool, mem_mb, self.default_ttl_ms, now_ms)
+                .map(|(p, cold)| (h, p, cold, self.hosts[h].evictions() - evicted_before))
+        });
+        let Some((host, placement, cold, evicted)) = placement else {
             self.limits.release(fn_id);
             self.counters.throttled_capacity += 1;
+            self.trace_throttle(now_ms, fn_id, ThrottleCause::Capacity);
             return;
         };
+        if evicted > 0 {
+            self.sink.record(
+                now_ms,
+                TraceEvent::Eviction { host: host as u32, evicted: evicted as u32 },
+            );
+            if let Some(o) = self.obs.as_mut() {
+                o.registry.add(o.evictions, evicted as u64);
+            }
+        }
+        self.sink.record(
+            now_ms,
+            TraceEvent::Dispatch {
+                fn_id: fn_id as u32,
+                host: host as u32,
+                memory_mb: memory.mb(),
+                cold,
+                shadow: pool != fn_id,
+            },
+        );
+        if let Some(o) = self.obs.as_mut() {
+            o.registry.inc(o.dispatches);
+        }
         if pool != fn_id {
             // Count only shadow invocations that actually started — a
             // throttled shadow route burned its period slot but produced
@@ -360,6 +529,19 @@ impl Fleet {
         };
         if cold {
             self.counters.cold_starts += 1;
+            self.sink.record(
+                now_ms,
+                TraceEvent::ColdStart {
+                    fn_id: fn_id as u32,
+                    host: host as u32,
+                    memory_mb: memory.mb(),
+                    init_ms: record.init_ms,
+                },
+            );
+            if let Some(o) = self.obs.as_mut() {
+                o.registry.inc(o.cold_starts);
+                o.registry.observe(o.init_ms, record.init_ms);
+            }
             // Shadow invocations cold-start at the *base* size; feeding
             // their init times to the keep-alive observer would skew the
             // function's TTL sizing toward a pool it only uses transiently.
@@ -399,7 +581,7 @@ impl Fleet {
 
     fn on_complete(
         &mut self,
-        sim: &mut Simulation<Fleet>,
+        sim: &mut Simulation<Self>,
         done: Completion,
         sample: Option<InvocationSample>,
     ) {
@@ -414,6 +596,10 @@ impl Fleet {
         self.counters.sum_latency_ms += done.latency_ms;
         self.counters.sum_cost_usd += done.cost_usd;
         self.max_latency_ms = self.max_latency_ms.max(done.latency_ms);
+        if let Some(o) = self.obs.as_mut() {
+            o.registry.observe(o.latency_ms, done.latency_ms);
+            o.registry.observe(o.exec_ms, done.exec_ms);
+        }
 
         let mut directive = None;
         if let Some(sizing) = &mut self.sizing {
@@ -437,7 +623,39 @@ impl Fleet {
             c.samples_ingested += 1;
             // lint: allow(panic002) reason="sizing fleets install a monitor for every function, so the sample is always present"
             let sample = sample.expect("sizing fleets monitor every invocation");
+            // Diff the service's tallies around the ingest so the sizing
+            // loop's interior transitions surface as trace events without
+            // the service knowing about tracing.
+            let phase_before = sizing.service.phase(done.fn_id);
+            let drift_before = sizing.service.stats().drift_detections;
+            let artifacts_before = sizing.service.plane_stats().artifact_updates;
             directive = sizing.service.ingest(done.fn_id, done.memory, sample);
+            if sizing.service.stats().drift_detections > drift_before {
+                self.sink.record(now_ms, TraceEvent::DriftDetected { fn_id: done.fn_id as u32 });
+                if let Some(o) = self.obs.as_mut() {
+                    o.registry.inc(o.drift_detections);
+                }
+            }
+            let phase_after = sizing.service.phase(done.fn_id);
+            if let (Some(from), Some(to)) = (phase_before, phase_after) {
+                if from != to {
+                    self.sink.record(
+                        now_ms,
+                        TraceEvent::PhaseTransition {
+                            fn_id: done.fn_id as u32,
+                            from: loop_phase(from),
+                            to: loop_phase(to),
+                        },
+                    );
+                }
+            }
+            let artifacts_after = sizing.service.plane_stats().artifact_updates;
+            if artifacts_after > artifacts_before {
+                self.sink.record(
+                    now_ms,
+                    TraceEvent::ArtifactUpdate { updates: artifacts_after as u64 },
+                );
+            }
         }
         if let Some(d) = directive {
             self.apply_directive(d, now_ms);
@@ -468,6 +686,18 @@ impl Fleet {
         if d.reason == DirectiveReason::Recommend && sizing.counters.first_resize_at_ms.is_none() {
             sizing.counters.first_resize_at_ms = Some(now_ms);
         }
+        self.sink.record(
+            now_ms,
+            TraceEvent::Resize {
+                fn_id: d.fn_id as u32,
+                from_mb: config.memory().mb(),
+                to_mb: d.target.mb(),
+                cause: resize_cause(d.reason),
+            },
+        );
+        if let Some(o) = self.obs.as_mut() {
+            o.registry.inc(o.resizes);
+        }
         self.functions[d.fn_id].config = config.with_memory(d.target);
         let mem_mb = f64::from(d.target.mb());
         for host in &mut self.hosts {
@@ -489,14 +719,14 @@ impl Fleet {
         self.functions[fn_id].config = FunctionConfig::new(profile, memory);
     }
 
-    fn on_arrival(sim: &mut Simulation<Fleet>, fleet: &mut Fleet, fn_id: usize) {
+    fn on_arrival(sim: &mut Simulation<Self>, fleet: &mut Self, fn_id: usize) {
         let now_ms = sim.now().as_millis();
         // Schedule the next arrival first: the arrival stream depends only
         // on the function's own RNG, never on dispatch decisions.
         let next = now_ms + fleet.next_arrival_gap(fn_id);
         if next < fleet.duration_ms {
             sim.schedule_at(SimTime::from_millis(next), move |s, f| {
-                Fleet::on_arrival(s, f, fn_id);
+                Self::on_arrival(s, f, fn_id);
             });
         }
         fleet.dispatch(sim, fn_id, now_ms);
@@ -550,7 +780,7 @@ impl Fleet {
     /// external drivers (e.g. [`run_multi_region`](crate::region)) prime
     /// several fleets onto their own simulations, interleave them through
     /// one merged deterministic event loop, and report each at the end.
-    pub fn prime(&mut self, sim: &mut Simulation<Fleet>) {
+    pub fn prime(&mut self, sim: &mut Simulation<Self>) {
         let mut first_arrivals = Vec::with_capacity(self.functions.len());
         for fn_id in 0..self.functions.len() {
             first_arrivals.push((fn_id, self.next_arrival_gap(fn_id)));
@@ -558,23 +788,35 @@ impl Fleet {
         for (fn_id, at) in first_arrivals {
             if at < self.duration_ms {
                 sim.schedule_at(SimTime::from_millis(at), move |s, f| {
-                    Fleet::on_arrival(s, f, fn_id);
+                    Self::on_arrival(s, f, fn_id);
                 });
             }
         }
     }
 
     /// Runs the fleet to completion and reports.
-    pub fn run(mut self) -> FleetReport {
-        let mut sim: Simulation<Fleet> = Simulation::new();
+    pub fn run(self) -> FleetReport {
+        self.run_traced().0
+    }
+
+    /// Runs the fleet to completion and hands back the trace sink alongside
+    /// the report — the traced analogue of [`Fleet::run`].
+    pub fn run_traced(mut self) -> (FleetReport, S) {
+        let mut sim: Simulation<Self> = Simulation::new();
         self.prime(&mut sim);
         sim.run_to_completion(&mut self);
-        self.into_report(&sim)
+        self.into_report_and_sink(&sim)
     }
 
     /// Finalizes accounting and produces the report. `sim` must be the
     /// (drained) simulation this fleet ran on.
-    pub fn into_report(mut self, sim: &Simulation<Fleet>) -> FleetReport {
+    pub fn into_report(self, sim: &Simulation<Self>) -> FleetReport {
+        self.into_report_and_sink(sim).0
+    }
+
+    /// [`Fleet::into_report`], also handing the trace sink back to the
+    /// caller for export.
+    pub fn into_report_and_sink(mut self, sim: &Simulation<Self>) -> (FleetReport, S) {
         let horizon_ms = sim.now().as_millis().max(self.duration_ms);
 
         for host in &mut self.hosts {
@@ -591,7 +833,8 @@ impl Fleet {
 
         let drained_instances = self.hosts.iter().map(Host::resize_drains).sum();
         let final_sizes_mb: Vec<u32> = self.functions.iter().map(|f| f.config.memory().mb()).collect();
-        FleetReport {
+        let engine = sim.stats();
+        let report = FleetReport {
             scheduler: self.scheduler.name().to_string(),
             keepalive: self.keepalive.name().to_string(),
             counters: self.counters,
@@ -606,6 +849,11 @@ impl Fleet {
             expirations: self.hosts.iter().map(Host::expirations).sum(),
             max_latency_ms: self.max_latency_ms,
             horizon_ms,
+            sim: SimRunStats {
+                events_executed: engine.executed,
+                handlers_scheduled: engine.scheduled,
+                peak_queue_depth: engine.peak_pending,
+            },
             rightsizing: self.sizing.map(|s| RightsizingReport {
                 counters: s.counters,
                 metrics: RightsizingMetrics::from_counters(&s.counters),
@@ -613,7 +861,8 @@ impl Fleet {
                 drained_instances,
                 final_sizes_mb,
             }),
-        }
+        };
+        (report, self.sink)
     }
 }
 
@@ -904,6 +1153,93 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traced_closed_loop_run_collects_structured_events() {
+        use sizeless_obs::MemorySink;
+        let platform = Platform::aws_like();
+        let config = FleetConfig::new(4, 4096.0, 25_000.0, 5);
+        let default_ttl = platform.cold_start_model().idle_ttl_ms;
+        let run = || {
+            let fleet = Fleet::new(
+                &platform,
+                &config,
+                &closed_loop_functions(),
+                SchedulerKind::WarmFirst.build(),
+                KeepAliveKind::FixedTtl.build(2, default_ttl),
+            )
+            .with_sizing(quick_service(60))
+            .with_metrics()
+            .with_trace(MemorySink::new());
+            fleet.run_traced()
+        };
+        let (report, sink) = run();
+
+        // The trace mirrors the report's counters exactly.
+        let count = |kind: &str| sink.records().iter().filter(|r| r.event.kind() == kind).count();
+        assert_eq!(count("dispatch"), report.counters.completed + report.counters.in_flight);
+        assert_eq!(count("cold_start"), report.counters.cold_starts);
+        assert_eq!(count("throttle"), report.counters.throttled());
+        let rs = report.rightsizing.as_ref().expect("closed loop reports");
+        assert_eq!(count("resize"), rs.counters.resizes_applied);
+        assert_eq!(count("shadow_route"), rs.counters.shadow_dispatches);
+        assert_eq!(count("drift_detected"), rs.service.drift_detections);
+        assert!(count("phase_transition") > 0, "the loop must leave Measuring");
+
+        // Timestamps are monotone and sequence numbers dense.
+        for pair in sink.records().windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+            assert_eq!(pair[0].seq + 1, pair[1].seq);
+        }
+
+        // Tracing must not perturb the simulation: the traced report
+        // matches the untraced facade bit for bit, and a repeated traced
+        // run exports a byte-identical JSONL log.
+        let untraced = run_rightsized_fleet(
+            &platform,
+            &config,
+            &closed_loop_functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+            quick_service(60),
+        );
+        assert_eq!(report, untraced);
+        let (_, sink2) = run();
+        assert_eq!(sink.to_jsonl(), sink2.to_jsonl());
+        assert!(!sink.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_fleet_counters() {
+        let platform = Platform::aws_like();
+        let fleet = Fleet::new(
+            &platform,
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst.build(),
+            KeepAliveKind::FixedTtl.build(2, platform.cold_start_model().idle_ttl_ms),
+        )
+        .with_metrics();
+        let mut sim = Simulation::new();
+        let mut fleet = fleet;
+        fleet.prime(&mut sim);
+        sim.run_to_completion(&mut fleet);
+        let reg = fleet.metrics().expect("metrics enabled");
+        let counter = |n: &str| reg.counter_value(n).unwrap();
+        let snapshot = reg.snapshot_json(sim.now().as_millis());
+        let dispatches = counter("dispatches");
+        let cold_starts = counter("cold_starts");
+        let throttles = counter("throttles");
+        let hist = reg.histogram_ref("latency_ms").expect("registered");
+        let (latency_count, latency_max) = (hist.count(), hist.max());
+        let (report, _) = fleet.into_report_and_sink(&sim);
+        assert_eq!(dispatches as usize, report.counters.completed);
+        assert_eq!(cold_starts as usize, report.counters.cold_starts);
+        assert_eq!(throttles as usize, report.counters.throttled());
+        assert_eq!(latency_count as usize, report.counters.completed);
+        assert!((latency_max - report.max_latency_ms).abs() < 1e-12);
+        assert!(snapshot.contains("\"latency_ms\""), "{snapshot}");
     }
 
     #[test]

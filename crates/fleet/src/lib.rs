@@ -111,8 +111,8 @@ pub use host::{Host, Placement};
 pub use keepalive::{AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive};
 pub use limits::{ConcurrencyLimits, ThrottleReason};
 pub use region::{
-    run_multi_region, MultiRegionOptions, MultiRegionReport, RegionReport, RegionSpec,
-    WorkloadShift,
+    run_multi_region, run_multi_region_traced, MultiRegionOptions, MultiRegionReport,
+    RegionReport, RegionSpec, WorkloadShift,
 };
 pub use scheduler::{LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst};
 pub use stats::{FleetReport, RightsizingReport};

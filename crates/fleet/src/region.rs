@@ -29,6 +29,7 @@ use crate::stats::FleetReport;
 use serde::{Deserialize, Serialize};
 use sizeless_core::service::{ControlPlane, PlaneStats, RemeasureKind, ServiceConfig};
 use sizeless_engine::{SimTime, Simulation};
+use sizeless_obs::{NullSink, TraceEvent, TraceSink};
 use sizeless_platform::{Platform, ResourceProfile};
 
 /// A scheduled in-place profile swap: genuine workload drift.
@@ -154,11 +155,35 @@ pub fn run_multi_region(
     plane: &ControlPlane,
     opts: &MultiRegionOptions,
 ) -> MultiRegionReport {
+    run_multi_region_traced(platform, regions, plane, opts, |_| NullSink).0
+}
+
+/// [`run_multi_region`] with tracing: `make_sink` builds one sink per
+/// region (called with the region index, in spec order), and the merged
+/// driver additionally records a [`TraceEvent::RegionHandoff`] into the
+/// incoming region's sink whenever it switches which region it advances.
+/// Returns the per-region sinks alongside the report, in spec order.
+///
+/// # Panics
+///
+/// Panics if `regions` is empty or a shift names an out-of-range function.
+pub fn run_multi_region_traced<S, F>(
+    platform: &Platform,
+    regions: &[RegionSpec],
+    plane: &ControlPlane,
+    opts: &MultiRegionOptions,
+    mut make_sink: F,
+) -> (MultiRegionReport, Vec<S>)
+where
+    S: TraceSink + 'static,
+    F: FnMut(usize) -> S,
+{
     assert!(!regions.is_empty(), "a multi-region run needs at least one region");
     let default_ttl = platform.cold_start_model().idle_ttl_ms;
-    let mut fleets: Vec<Fleet> = regions
+    let mut fleets: Vec<Fleet<S>> = regions
         .iter()
-        .map(|spec| {
+        .enumerate()
+        .map(|(i, spec)| {
             for shift in &spec.shifts {
                 assert!(
                     shift.fn_id < spec.functions.len(),
@@ -176,12 +201,13 @@ pub fn run_multi_region(
                 opts.keepalive.build(spec.functions.len(), default_ttl),
             )
             .with_sizing(plane.handle(opts.service, opts.remeasure.build()))
+            .with_trace(make_sink(i))
         })
         .collect();
 
-    let mut sims: Vec<Simulation<Fleet>> = Vec::with_capacity(regions.len());
+    let mut sims: Vec<Simulation<Fleet<S>>> = Vec::with_capacity(regions.len());
     for (spec, fleet) in regions.iter().zip(&mut fleets) {
-        let mut sim: Simulation<Fleet> = Simulation::new();
+        let mut sim: Simulation<Fleet<S>> = Simulation::new();
         fleet.prime(&mut sim);
         for shift in &spec.shifts {
             let fn_id = shift.fn_id;
@@ -195,7 +221,10 @@ pub fn run_multi_region(
 
     // The merged event loop: always advance the region with the earliest
     // pending event; a strict `<` keeps ties on the lowest region index,
-    // so the interleaving is a pure function of the event times.
+    // so the interleaving is a pure function of the event times. Each
+    // switch of the advanced region is recorded into the incoming region's
+    // trace at the handed-off event's time.
+    let mut last: Option<usize> = None;
     loop {
         let mut next: Option<(SimTime, usize)> = None;
         for (i, sim) in sims.iter().enumerate() {
@@ -205,23 +234,42 @@ pub fn run_multi_region(
                 }
             }
         }
-        let Some((_, i)) = next else { break };
+        let Some((t, i)) = next else { break };
+        if let Some(prev) = last {
+            if prev != i {
+                fleets[i].sink_mut().record(
+                    t.as_millis(),
+                    TraceEvent::RegionHandoff {
+                        from_region: prev as u32,
+                        to_region: i as u32,
+                    },
+                );
+            }
+        }
+        last = Some(i);
         sims[i].step(&mut fleets[i]);
     }
 
-    MultiRegionReport {
-        regions: regions
-            .iter()
-            .zip(fleets.into_iter().zip(&sims))
-            .map(|(spec, (fleet, sim))| RegionReport {
+    let mut sinks = Vec::with_capacity(fleets.len());
+    let region_reports = regions
+        .iter()
+        .zip(fleets.into_iter().zip(&sims))
+        .map(|(spec, (fleet, sim))| {
+            let (report, sink) = fleet.into_report_and_sink(sim);
+            sinks.push(sink);
+            RegionReport {
                 region: spec.name.clone(),
-                report: fleet.into_report(sim),
-            })
-            .collect(),
+                report,
+            }
+        })
+        .collect();
+    let report = MultiRegionReport {
+        regions: region_reports,
         plane: plane.stats(),
         adaptation: plane.adaptation_name().to_string(),
         remeasure: opts.remeasure.name().to_string(),
-    }
+    };
+    (report, sinks)
 }
 
 #[cfg(test)]
@@ -362,6 +410,47 @@ mod tests {
             run(RemeasureKind::ShadowSampling(0.25)),
             "shadow-sampled multi-region run diverged across replays"
         );
+    }
+
+    #[test]
+    fn traced_multi_region_records_handoffs_without_perturbing() {
+        use sizeless_obs::MemorySink;
+        let platform = Platform::aws_like();
+        let sizer = quick_sizer();
+        let plane = || ControlPlane::frozen(sizer.clone());
+        let (traced, sinks) = run_multi_region_traced(
+            &platform,
+            &regions(),
+            &plane(),
+            &options(),
+            |_| MemorySink::new(),
+        );
+        let untraced = run_multi_region(&platform, &regions(), &plane(), &options());
+        assert_eq!(traced, untraced, "tracing must not perturb the merged run");
+        assert_eq!(sinks.len(), 2);
+        for (i, sink) in sinks.iter().enumerate() {
+            assert!(!sink.is_empty(), "region {i} recorded nothing");
+            // Handoffs recorded into region i name it as the receiver.
+            for r in sink.records() {
+                if let sizeless_obs::TraceEvent::RegionHandoff { from_region, to_region } = r.event
+                {
+                    assert_eq!(to_region as usize, i);
+                    assert_ne!(from_region, to_region);
+                }
+            }
+        }
+        // The merged driver alternates between two active regions, so both
+        // sides receive handoffs.
+        let handoffs: usize = sinks
+            .iter()
+            .map(|s| {
+                s.records()
+                    .iter()
+                    .filter(|r| r.event.kind() == "region_handoff")
+                    .count()
+            })
+            .sum();
+        assert!(handoffs > 2, "expected interleaving, saw {handoffs} handoffs");
     }
 
     #[test]

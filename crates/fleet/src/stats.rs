@@ -3,7 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 use sizeless_core::service::ServiceStats;
-use sizeless_telemetry::{FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics};
+use sizeless_telemetry::{
+    FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics, SimRunStats,
+};
 
 /// The closed-loop right-sizing section of a fleet report: fleet-side
 /// tallies and before/after-resize rates plus the sizing service's own
@@ -47,6 +49,8 @@ pub struct FleetReport {
     pub max_latency_ms: f64,
     /// Observed horizon (arrival window plus completion drain), ms.
     pub horizon_ms: f64,
+    /// Run counters of the discrete-event engine that drove this fleet.
+    pub sim: SimRunStats,
     /// Present when the fleet ran with an embedded sizing service.
     pub rightsizing: Option<RightsizingReport>,
 }
@@ -84,6 +88,11 @@ mod tests {
             expirations: 3,
             max_latency_ms: 812.5,
             horizon_ms: 10_000.0,
+            sim: SimRunStats {
+                events_executed: 19,
+                handlers_scheduled: 21,
+                peak_queue_depth: 4,
+            },
             rightsizing: None,
         };
         let json = serde_json::to_string(&report).unwrap();

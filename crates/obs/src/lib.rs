@@ -1,0 +1,35 @@
+//! Deterministic tracing and metrics for the sizeless simulators.
+//!
+//! Simulated-fleet runs were previously black boxes: one final report, no
+//! record of what happened along the way. This crate adds the wrapper-style
+//! observability the paper itself relies on (Section 3.2's resource-monitor
+//! wrappers), rebuilt for a discrete-event world:
+//!
+//! - [`TraceEvent`]/[`TraceRecord`]: a closed vocabulary of structured
+//!   events (dispatch, cold start, eviction, throttle, resize, drift,
+//!   phase transition, shadow route, artifact update, region handoff)
+//!   stamped with *virtual* time — never the wall clock, so traces are
+//!   `det001`-clean and byte-identical across repeated seeds and thread
+//!   counts.
+//! - [`TraceSink`]: statically dispatched sinks. [`NullSink`] compiles the
+//!   instrumentation away entirely (the default everywhere);
+//!   [`RingBufferSink`] is a pre-sized, allocation-free flight recorder;
+//!   [`MemorySink`] retains everything for export.
+//! - [`export`]: JSONL (one self-describing object per line) and Chrome
+//!   trace-event JSON, loadable in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>, plus a parser for round-trip analysis.
+//! - [`LogHistogram`]/[`MetricsRegistry`]: deterministic fixed-bucket
+//!   log-scale histograms and monotone counters, snapshottable to JSON at
+//!   any virtual time.
+//!
+//! The crate is dependency-free by design: it sits *below* the engine,
+//! fleet, and sizing control plane, which all record into it.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{LoopPhase, ResizeCause, ThrottleCause, TraceEvent, TraceRecord};
+pub use metrics::{CounterId, HistogramId, LogHistogram, MetricsRegistry};
+pub use sink::{MemorySink, NullSink, RingBufferSink, TraceSink};

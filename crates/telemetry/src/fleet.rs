@@ -61,6 +61,21 @@ impl FleetCounters {
     }
 }
 
+/// Run counters of the discrete-event engine that drove a fleet: how much
+/// event churn the run cost, independent of what the events did.
+///
+/// Mirrors the engine's `SimStats` (the telemetry crate sits below the
+/// engine, so the fleet copies the numbers across when it builds a report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimRunStats {
+    /// Events the simulation executed.
+    pub events_executed: u64,
+    /// Handlers ever scheduled (executed + pending + dropped at teardown).
+    pub handlers_scheduled: u64,
+    /// The most events that were ever pending at once.
+    pub peak_queue_depth: usize,
+}
+
 /// Rates and ratios derived from [`FleetCounters`] — the fleet's
 /// paper-style result row.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -35,7 +35,9 @@ pub mod stability;
 pub mod window;
 
 pub use aggregate::{MetricAggregate, MetricVector};
-pub use fleet::{FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics};
+pub use fleet::{
+    FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics, SimRunStats,
+};
 pub use metric::{Metric, METRIC_COUNT};
 pub use monitor::{InvocationSample, MetricStore, ResourceMonitor};
 pub use stability::{StabilityAnalysis, StabilityConfig};

@@ -21,6 +21,9 @@
 //! * [`stats`] — Mann–Whitney U, Cliff's delta, regression metrics.
 //! * [`neural`] — the from-scratch dense neural network used for
 //!   multi-target regression.
+//! * [`obs`] — deterministic observability: structured trace events,
+//!   zero-cost sinks, JSONL/Chrome-trace exporters, and a virtual-time
+//!   metrics registry.
 //! * [`core`] — the Sizeless approach itself: dataset generation, feature
 //!   engineering, the predictor, and the memory-size optimizer.
 //! * [`apps`] — the four case-study applications (27 functions).
@@ -48,6 +51,7 @@ pub use sizeless_engine as engine;
 pub use sizeless_fleet as fleet;
 pub use sizeless_funcgen as funcgen;
 pub use sizeless_neural as neural;
+pub use sizeless_obs as obs;
 pub use sizeless_platform as platform;
 pub use sizeless_stats as stats;
 pub use sizeless_telemetry as telemetry;

@@ -13,8 +13,8 @@ use sizeless::core::service::{
 use sizeless::core::trainer::{TrainedSizer, Trainer, TrainerConfig};
 use sizeless::engine::RngStream;
 use sizeless::fleet::{
-    run_fleet, run_multi_region, run_rightsized_fleet, FleetArrival, FleetConfig, FleetFunction,
-    KeepAliveKind, MultiRegionOptions, RegionSpec, SchedulerKind, WorkloadShift,
+    run_fleet, run_multi_region, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig,
+    FleetFunction, KeepAliveKind, MultiRegionOptions, RegionSpec, SchedulerKind, WorkloadShift,
 };
 use sizeless::neural::NetworkConfig;
 use sizeless::platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
@@ -241,6 +241,72 @@ fn closed_loop_fleet_is_bit_identical_across_thread_counts() {
         rs.metrics.exec_mb_ms_per_completion_directed.to_bits(),
         t.metrics.exec_mb_ms_per_completion_directed.to_bits()
     );
+}
+
+/// The structured JSONL trace of a traced closed-loop run is byte-identical
+/// across dataset-measurement thread counts and across repeat runs — the
+/// observability layer inherits the replay contract, down to every float
+/// digit of every timestamp.
+#[test]
+fn closed_loop_trace_is_byte_identical_across_thread_counts() {
+    use sizeless::obs::{export, MemorySink};
+    let platform = Platform::aws_like();
+    let functions = vec![
+        FleetFunction::new(
+            FunctionConfig::new(
+                ResourceProfile::builder("trace-io")
+                    .stage(Stage::file_io("io", 384.0, 96.0))
+                    .build(),
+                MemorySize::MB_256,
+            ),
+            FleetArrival::Steady(ArrivalProcess::poisson(18.0)),
+        ),
+        FleetFunction::new(
+            FunctionConfig::new(
+                ResourceProfile::builder("trace-cpu")
+                    .stage(Stage::cpu("work", 70.0))
+                    .init_cpu_ms(120.0)
+                    .build(),
+                MemorySize::MB_256,
+            ),
+            FleetArrival::Bursty(BurstyArrival::new(3.0, 30.0, 5_000.0, 1_500.0)),
+        ),
+    ];
+    let config = FleetConfig::new(3, 4096.0, 20_000.0, 23);
+    let trace = |threads: usize| {
+        let default_ttl = platform.cold_start_model().idle_ttl_ms;
+        let fleet = Fleet::new(
+            &platform,
+            &config,
+            &functions,
+            SchedulerKind::WarmFirst.build(),
+            KeepAliveKind::Adaptive.build(functions.len(), default_ttl),
+        )
+        .with_sizing(SizingService::new(
+            sizer_with_threads(&platform, threads),
+            ServiceConfig {
+                window: 50,
+                ..ServiceConfig::default()
+            },
+        ))
+        .with_trace(MemorySink::new());
+        let (report, sink) = fleet.run_traced();
+        assert!(report.counters.completed > 0);
+        (sink.to_jsonl(), report)
+    };
+
+    let (serial, serial_report) = trace(1);
+    let (threaded, threaded_report) = trace(4);
+    assert!(!serial.is_empty(), "traced run recorded nothing");
+    assert_eq!(serial, threaded, "trace bytes diverged across thread counts");
+    assert_eq!(serial, trace(1).0, "trace bytes diverged across repeat runs");
+    assert_eq!(serial_report, threaded_report, "reports diverged too");
+
+    // The emitted trace is schema-valid: every line parses back, and
+    // re-exporting the parsed records reproduces the input byte for byte.
+    let records = export::parse_jsonl(&serial).expect("trace is schema-valid JSONL");
+    assert_eq!(records.len(), serial.lines().count());
+    assert_eq!(export::jsonl(&records), serial);
 }
 
 /// A small trained artifact whose offline dataset measurement fans out over
