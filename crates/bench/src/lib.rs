@@ -32,6 +32,7 @@ use sizeless_core::error::CoreError;
 use sizeless_core::features::FeatureSet;
 use sizeless_core::model::SizelessModel;
 use sizeless_core::trainer::{TrainedSizer, Trainer, TrainerConfig};
+use sizeless_fleet::FaultPlan;
 use sizeless_neural::NetworkConfig;
 use sizeless_platform::{MemorySize, Platform};
 use std::path::{Path, PathBuf};
@@ -53,6 +54,13 @@ pub struct ExperimentContext {
     pub trace: Option<PathBuf>,
     /// Destination for a metrics-registry JSON snapshot, if given.
     pub metrics: Option<PathBuf>,
+    /// Fault plan parsed from `--faults`, if given. Binaries without a
+    /// fault-injection path accept (and ignore) the flag so one command
+    /// line works across the suite.
+    pub faults: Option<FaultPlan>,
+    /// Seed of the fault/retry streams (`--fault-seed`), independent of
+    /// the master seed so fault schedules vary while workloads replay.
+    pub fault_seed: u64,
 }
 
 /// The `--help` text shared by every experiment binary.
@@ -77,6 +85,16 @@ Shared experiment flags:
   --metrics <path>   write a metrics-registry JSON snapshot
                      (counters + log-scale histograms) to this
                      file                                       (default: no snapshot)
+  --faults <spec>    inject faults: `;`-separated clauses, e.g.
+                     `crash:host=0,at=5000,down=2000;
+                     transient:init=0.05,exec=0.1,frac=0.5;
+                     outage:region=1,at=8000,down=4000`
+                     (also: crashes:mtbf=..,down=..,
+                     recovery:ms=..,slowdown=.., nofailover,
+                     nomask); binaries without a fault path
+                     accept and ignore it                       (default: no faults)
+  --fault-seed <u64> seed of the fault/retry streams, separate
+                     from the master seed                       (default 0)
   --help, -h         print this help and exit";
 
 /// How argument parsing ended when it did not produce a context.
@@ -124,6 +142,8 @@ impl ExperimentContext {
             artifact: None,
             trace: None,
             metrics: None,
+            faults: None,
+            fault_seed: 0,
         };
         let mut args = args.into_iter();
         while let Some(flag) = args.next() {
@@ -165,6 +185,18 @@ impl ExperimentContext {
                 "--metrics" => {
                     ctx.metrics = Some(PathBuf::from(value("--metrics")?));
                 }
+                "--faults" => {
+                    let v = value("--faults")?;
+                    ctx.faults = Some(FaultPlan::parse(&v).map_err(|e| {
+                        ArgsError::Invalid(format!("`--faults`: {e}"))
+                    })?);
+                }
+                "--fault-seed" => {
+                    let v = value("--fault-seed")?;
+                    ctx.fault_seed = v.parse().map_err(|_| {
+                        ArgsError::Invalid(format!("`--fault-seed` takes a u64, got `{v}`"))
+                    })?;
+                }
                 "--threads" => {
                     let v = value("--threads")?;
                     ctx.threads = v.parse().map_err(|_| {
@@ -178,12 +210,19 @@ impl ExperimentContext {
                 }
                 other => {
                     return Err(ArgsError::Invalid(format!(
-                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads/--artifact/--trace/--metrics)"
+                        "unknown argument `{other}` (expected --seed/--scale/--out/--threads/--artifact/--trace/--metrics/--faults/--fault-seed)"
                     )));
                 }
             }
         }
         Ok(ctx)
+    }
+
+    /// The `--faults` plan with the `--fault-seed` applied, ready to hand
+    /// to [`sizeless_fleet::run_faulted_fleet`] or
+    /// [`sizeless_fleet::run_multi_region_faulted`].
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.clone().map(|p| p.with_seed(self.fault_seed))
     }
 
     /// The effective worker-thread count: `--threads` if given, otherwise
@@ -429,6 +468,8 @@ mod tests {
             artifact: None,
             trace: None,
             metrics: None,
+            faults: None,
+            fault_seed: 0,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 200);
@@ -445,6 +486,8 @@ mod tests {
             artifact: None,
             trace: None,
             metrics: None,
+            faults: None,
+            fault_seed: 0,
         };
         let cfg = ctx.dataset_config();
         assert_eq!(cfg.function_count, 2000);
@@ -521,5 +564,38 @@ mod tests {
         assert!(matches!(parse(&["--help"]), Err(ArgsError::Help)));
         assert!(matches!(parse(&["-h"]), Err(ArgsError::Help)));
         assert!(USAGE.contains("--seed") && USAGE.contains("--threads"));
+        assert!(USAGE.contains("--faults") && USAGE.contains("--fault-seed"));
+    }
+
+    #[test]
+    fn parse_accepts_fault_flags() {
+        let ctx = parse(&[
+            "--faults",
+            "transient:init=0.05,exec=0.1,frac=0.5;crash:host=0,at=5000,down=2000",
+            "--fault-seed",
+            "9",
+        ])
+        .unwrap();
+        assert_eq!(ctx.fault_seed, 9);
+        let plan = ctx.fault_plan().expect("plan parsed");
+        assert_eq!(plan.seed, 9, "fault_plan applies the fault seed");
+        assert!(plan.transient.is_some());
+        assert_eq!(plan.crashes.len(), 1);
+        // No flag, no plan.
+        assert!(parse(&[]).unwrap().fault_plan().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_bad_fault_flags() {
+        match parse(&["--faults", "bogus:x=1"]).unwrap_err() {
+            ArgsError::Invalid(msg) => {
+                assert!(msg.contains("`--faults`"), "{msg}");
+                assert!(msg.contains("unknown fault clause"), "{msg}");
+            }
+            ArgsError::Help => panic!("not a help request"),
+        }
+        assert!(matches!(parse(&["--faults"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--fault-seed", "x"]), Err(ArgsError::Invalid(_))));
+        assert!(matches!(parse(&["--fault-seed"]), Err(ArgsError::Invalid(_))));
     }
 }

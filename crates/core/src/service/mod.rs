@@ -182,6 +182,11 @@ pub struct ServiceStats {
     pub drift_checks: usize,
     /// Drift checks that confirmed a shift.
     pub drift_detections: usize,
+    /// Confirmed drift detections suppressed because the embedding layer
+    /// reported an active fault window (a crashed host's recovery
+    /// slowdown looks exactly like workload drift). Suppressed detections
+    /// count in `drift_detections` too but trigger no re-measurement.
+    pub drift_suppressed_by_fault: usize,
     /// Transitions into `Measuring` (initial entries + full reverts).
     pub entered_measuring: usize,
     /// Transitions into `Referencing`.
@@ -395,6 +400,23 @@ impl SizingService {
         at_size: MemorySize,
         sample: InvocationSample,
     ) -> Option<SizingDirective> {
+        self.ingest_masked(fn_id, at_size, sample, false)
+    }
+
+    /// [`SizingService::ingest`] with fault masking: when `fault_masked`
+    /// is `true` (the embedding layer knows a fault window — crash
+    /// downtime, recovery slowdown, outage — is active for this sample's
+    /// hosts), a confirmed drift detection is *suppressed* instead of
+    /// triggering re-measurement, and tallied as
+    /// [`ServiceStats::drift_suppressed_by_fault`]. Everything else is
+    /// identical to `ingest`.
+    pub fn ingest_masked(
+        &mut self,
+        fn_id: usize,
+        at_size: MemorySize,
+        sample: InvocationSample,
+        fault_masked: bool,
+    ) -> Option<SizingDirective> {
         let base = self.plane.base();
         if self.functions.len() <= fn_id {
             self.functions.resize_with(fn_id + 1, || None);
@@ -525,6 +547,14 @@ impl SizingService {
                     return None;
                 }
                 self.stats.drift_detections += 1;
+                if fault_masked {
+                    // The "drift" coincides with an active fault window:
+                    // most likely crash fallout, not a workload shift. Stay
+                    // Watching (the window is already cleared); a genuine
+                    // shift re-confirms on the next full window.
+                    self.stats.drift_suppressed_by_fault += 1;
+                    return None;
+                }
                 if state.current == base {
                     // Already at base: re-measure in place; no routing or
                     // directive needed regardless of policy. No revert is
@@ -728,6 +758,49 @@ mod tests {
             svc.stats().rerecommend_same + svc.stats().rerecommend_changed,
             before.rerecommend_same + before.rerecommend_changed + expected
         );
+    }
+
+    #[test]
+    fn fault_masked_drift_is_suppressed_and_stays_watching() {
+        let mut svc = service(64);
+        let base = svc.base();
+        // Same traffic as the revert test, up to the shifted window.
+        let mut rng = RngStream::from_seed(4, "svc-drift");
+        let mut i = 0;
+        let mut directive = None;
+        while directive.is_none() && i < 64 {
+            directive = svc.ingest(0, base, sample(&mut rng, i, 1.0));
+            i += 1;
+        }
+        let current = svc.current_size(0).unwrap();
+        if current != base {
+            for _ in 0..64 {
+                svc.ingest(0, current, sample(&mut rng, i, 1.0));
+                i += 1;
+            }
+        }
+        assert_eq!(svc.phase(0), Some(FnPhase::Watching));
+        // A strongly shifted window during an active fault: the detection
+        // fires but is suppressed — no revert, no re-measurement.
+        for _ in 0..64 {
+            let d = svc.ingest_masked(0, current, sample(&mut rng, i, 1.6), true);
+            assert!(d.is_none());
+            i += 1;
+        }
+        assert_eq!(svc.stats().drift_detections, 1);
+        assert_eq!(svc.stats().drift_suppressed_by_fault, 1);
+        assert_eq!(svc.phase(0), Some(FnPhase::Watching));
+        assert_eq!(svc.current_size(0), Some(current), "no revert happened");
+        assert_eq!(svc.stats().entered_measuring, 1);
+        // Once the fault window clears, the still-shifted workload
+        // re-confirms on the next tumbling window and acts normally.
+        for _ in 0..64 {
+            svc.ingest(0, current, sample(&mut rng, i, 1.6));
+            i += 1;
+        }
+        assert_eq!(svc.stats().drift_detections, 2);
+        assert_eq!(svc.stats().drift_suppressed_by_fault, 1);
+        assert_eq!(svc.phase(0), Some(FnPhase::Measuring));
     }
 
     #[test]

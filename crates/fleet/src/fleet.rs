@@ -24,18 +24,19 @@
 //!    ingested by the embedded [`SizingService`]; a resize directive
 //!    redeploys the function at the directed size across the cluster.
 
+use crate::faults::{FaultPlan, HostCrash, Recovery, RetryKind, RetryPolicy, TransientFaults};
 use crate::host::{Host, Placement};
 use crate::keepalive::{KeepAliveKind, KeepAlivePolicy};
 use crate::limits::{ConcurrencyLimits, ThrottleReason};
 use crate::scheduler::{Scheduler, SchedulerKind};
-use crate::stats::{FleetReport, RightsizingReport};
+use crate::stats::{FaultSummary, FleetReport, RightsizingReport};
 use sizeless_core::service::{
     DirectiveReason, FnPhase, RouteDecision, SizingDirective, SizingService,
 };
 use sizeless_engine::{RngStream, SimTime, Simulation};
 use sizeless_obs::{
-    CounterId, HistogramId, LoopPhase, MetricsRegistry, NullSink, ResizeCause, ThrottleCause,
-    TraceEvent, TraceSink,
+    CounterId, FaultKind, HistogramId, LoopPhase, MetricsRegistry, NullSink, ResizeCause,
+    ThrottleCause, TraceEvent, TraceSink,
 };
 use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile};
 use sizeless_telemetry::{
@@ -76,6 +77,9 @@ struct FleetObs {
     resizes: CounterId,
     shadow_routes: CounterId,
     drift_detections: CounterId,
+    invocation_failures: CounterId,
+    retries: CounterId,
+    host_crashes: CounterId,
     latency_ms: HistogramId,
     exec_ms: HistogramId,
     init_ms: HistogramId,
@@ -92,6 +96,9 @@ impl FleetObs {
             resizes: registry.counter("resizes_applied"),
             shadow_routes: registry.counter("shadow_routes"),
             drift_detections: registry.counter("drift_detections"),
+            invocation_failures: registry.counter("invocation_failures"),
+            retries: registry.counter("retries_scheduled"),
+            host_crashes: registry.counter("host_crashes"),
             latency_ms: registry.histogram("latency_ms"),
             exec_ms: registry.histogram("exec_ms"),
             init_ms: registry.histogram("init_ms"),
@@ -239,6 +246,51 @@ struct Completion {
     occupancy_ms: f64,
     exec_ms: f64,
     cost_usd: f64,
+    /// Which attempt of the request this was (1-based).
+    attempt: usize,
+    /// The host's crash epoch captured at dispatch: a mismatch at settle
+    /// time means the host crashed while this attempt was in flight.
+    epoch: u64,
+}
+
+/// Live fault-injection state, built from a [`FaultPlan`] by
+/// [`Fleet::with_faults`].
+struct FaultState {
+    transient: Option<TransientFaults>,
+    recovery: Option<Recovery>,
+    /// Materialized crash schedule; [`Fleet::prime`] turns it into events.
+    crashes: Vec<HostCrash>,
+    /// Stream for per-attempt transient fault draws (derived from the
+    /// plan's seed, independent of every other stream of the run).
+    rng: RngStream,
+    /// Per-host crash epoch, bumped on every crash.
+    epoch: Vec<u64>,
+    /// When each host last went down (for the rejoin trace).
+    down_since: Vec<f64>,
+    /// Until when each host runs slowed after a rejoin.
+    recovering_until: Vec<f64>,
+    /// In-flight invocations torn down by a crash, still awaiting their
+    /// originally scheduled settle event.
+    crash_zombies: usize,
+    /// Drift detections before this virtual time are fault-masked.
+    mask_until_ms: f64,
+    drift_mask: bool,
+    mask_pad_ms: f64,
+    /// Whether a driver-controlled region outage is active.
+    outage: bool,
+    failover: bool,
+    /// Arrivals diverted during an outage, drained by the region driver.
+    diverted: Vec<(f64, usize)>,
+    summary: FaultSummary,
+}
+
+/// Retry machinery installed by [`Fleet::with_retries`].
+struct RetryState {
+    policy: Box<dyn RetryPolicy>,
+    rng: RngStream,
+    /// Requests sitting out a backoff between a failed attempt and their
+    /// next one — still in flight and still holding their limit slot.
+    pending: usize,
 }
 
 /// The embedded closed-loop right-sizer: the wrapper-style monitor feeding
@@ -278,6 +330,10 @@ pub struct Fleet<S: TraceSink = NullSink> {
     sizing: Option<SizingLoop>,
     sink: S,
     obs: Option<FleetObs>,
+    seed: u64,
+    faults: Option<FaultState>,
+    retry: Option<RetryState>,
+    timeout_ms: Option<f64>,
 }
 
 impl Fleet {
@@ -335,6 +391,10 @@ impl Fleet {
             sizing: None,
             sink: NullSink,
             obs: None,
+            seed: config.seed,
+            faults: None,
+            retry: None,
+            timeout_ms: None,
         }
     }
 }
@@ -364,6 +424,10 @@ impl<S: TraceSink + 'static> Fleet<S> {
             sizing: self.sizing,
             sink,
             obs: self.obs,
+            seed: self.seed,
+            faults: self.faults,
+            retry: self.retry,
+            timeout_ms: self.timeout_ms,
         }
     }
 
@@ -409,6 +473,65 @@ impl<S: TraceSink + 'static> Fleet<S> {
         self
     }
 
+    /// Installs a fault plan: host crashes are materialized and scheduled
+    /// as simulation events by [`Fleet::prime`]; transient faults are
+    /// drawn per attempt. All fault randomness comes from streams derived
+    /// from the *plan's* seed, so installing a plan never perturbs the
+    /// run's arrival, execution, scheduler, or monitor streams — a
+    /// faulted run stays bit-reproducible, and an empty plan changes
+    /// nothing but the report's fault summary.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        let crashes = plan.materialize_crashes(self.hosts.len(), self.duration_ms);
+        self.faults = Some(FaultState {
+            transient: plan.transient,
+            recovery: plan.recovery,
+            crashes,
+            rng: RngStream::from_seed(plan.seed, "faults").derive("transient"),
+            epoch: vec![0; self.hosts.len()],
+            down_since: vec![0.0; self.hosts.len()],
+            recovering_until: vec![f64::NEG_INFINITY; self.hosts.len()],
+            crash_zombies: 0,
+            mask_until_ms: f64::NEG_INFINITY,
+            drift_mask: plan.drift_mask,
+            mask_pad_ms: plan.mask_pad_ms,
+            outage: false,
+            failover: plan.failover,
+            diverted: Vec::new(),
+            summary: FaultSummary::default(),
+        });
+        self
+    }
+
+    /// Installs a retry policy for failed attempts. Backoff jitter draws
+    /// from a dedicated `"retry"` stream under the fleet's master seed.
+    /// A request awaiting backoff stays in flight and keeps its
+    /// concurrency slot; a capacity miss on a retry sheds the request via
+    /// the existing 429 path instead of queueing.
+    pub fn with_retries(mut self, kind: RetryKind) -> Self {
+        self.retry = Some(RetryState {
+            policy: kind.build(),
+            rng: RngStream::from_seed(self.seed, "fleet").derive("retry"),
+            pending: 0,
+        });
+        self
+    }
+
+    /// Caps every attempt's latency: an attempt whose settle would land
+    /// past `timeout_ms` fails with a timeout at the cap instead
+    /// (retryable like any other fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the timeout is strictly positive and finite.
+    pub fn with_timeout(mut self, timeout_ms: f64) -> Self {
+        assert!(
+            timeout_ms > 0.0 && timeout_ms.is_finite(),
+            "timeout must be positive"
+        );
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
     fn next_arrival_gap(&mut self, fn_id: usize) -> f64 {
         let state = &mut self.arrivals[fn_id];
         match &mut state.gaps {
@@ -427,6 +550,16 @@ impl<S: TraceSink + 'static> Fleet<S> {
 
     /// Handles one request for `fn_id` arriving at `now_ms`.
     fn dispatch(&mut self, sim: &mut Simulation<Self>, fn_id: usize, now_ms: f64) {
+        if let Some(f) = self.faults.as_mut() {
+            if f.outage && f.failover {
+                // The whole region is dark: hand the arrival to the
+                // multi-region driver for failover instead of counting it
+                // against this region's ledgers.
+                f.summary.failovers_out += 1;
+                f.diverted.push((now_ms, fn_id));
+                return;
+            }
+        }
         self.counters.submitted += 1;
         self.keepalive.observe_arrival(fn_id, now_ms);
         match self.limits.try_acquire(fn_id) {
@@ -444,6 +577,19 @@ impl<S: TraceSink + 'static> Fleet<S> {
             Err(ThrottleReason::CapacityExhausted) => {
                 unreachable!("limits never report capacity")
             }
+        }
+        self.start_attempt(sim, fn_id, 1, now_ms);
+    }
+
+    /// Starts one execution attempt of an admitted request — attempt 1
+    /// straight from [`Fleet::dispatch`], later attempts from
+    /// self-scheduled retry events. The request already holds its
+    /// concurrency slot either way.
+    fn start_attempt(&mut self, sim: &mut Simulation<Self>, fn_id: usize, attempt: usize, now_ms: f64) {
+        if attempt > 1 {
+            // lint: allow(panic002) reason="retry attempts are only scheduled by fail_attempt, which requires retry state"
+            let r = self.retry.as_mut().expect("retry attempt without retry state");
+            r.pending -= 1;
         }
         // Per-invocation routing hook: while a function shadow-re-measures,
         // the service sends every period-th dispatch to the base size.
@@ -480,8 +626,15 @@ impl<S: TraceSink + 'static> Fleet<S> {
                 .map(|(p, cold)| (h, p, cold, self.hosts[h].evictions() - evicted_before))
         });
         let Some((host, placement, cold, evicted)) = placement else {
+            // Capacity miss — shed via the existing 429 path. On a retry
+            // attempt this sheds the whole already-admitted request:
+            // degradation under capacity loss is throttling, never
+            // unbounded queueing.
             self.limits.release(fn_id);
             self.counters.throttled_capacity += 1;
+            if attempt > 1 {
+                self.counters.in_flight -= 1;
+            }
             self.trace_throttle(now_ms, fn_id, ThrottleCause::Capacity);
             return;
         };
@@ -515,7 +668,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
             let sizing = self.sizing.as_mut().expect("shadow pools exist only with sizing");
             sizing.counters.shadow_dispatches += 1;
         }
-        let record = if memory == deployed {
+        let mut record = if memory == deployed {
             self.platform
                 .invoke(&self.functions[fn_id].config, cold, &mut self.exec_rng)
         } else {
@@ -527,6 +680,22 @@ impl<S: TraceSink + 'static> Fleet<S> {
                 &mut self.exec_rng,
             )
         };
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(r) = f.recovery {
+                if now_ms < f.recovering_until[host] {
+                    // A recently rejoined host runs degraded: execution,
+                    // CPU usage, and billing all stretch — the
+                    // crash-induced latency spike the drift detector must
+                    // not mistake for workload drift.
+                    record.duration_ms *= r.slowdown;
+                    record.billed_ms *= r.slowdown;
+                    record.cost_usd *= r.slowdown;
+                    record.usage.duration_ms *= r.slowdown;
+                    record.usage.user_cpu_ms *= r.slowdown;
+                    record.usage.sys_cpu_ms *= r.slowdown;
+                }
+            }
+        }
         if cold {
             self.counters.cold_starts += 1;
             self.sink.record(
@@ -549,20 +718,51 @@ impl<S: TraceSink + 'static> Fleet<S> {
                 self.keepalive.observe_cold_start(fn_id, record.init_ms);
             }
         }
-        self.counters.in_flight += 1;
+        if attempt == 1 {
+            self.counters.in_flight += 1;
+        }
         let latency_ms = record.init_ms + record.duration_ms;
         let exec_ms = record.duration_ms;
         let cost_usd = record.cost_usd;
+        // The attempt's fate is sealed at dispatch: transient fault draws
+        // come from the fault stream only, so installing a fault plan
+        // never perturbs arrival, execution, or scheduling randomness.
+        let mut planned_fail: Option<(FaultKind, f64)> = None;
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(t) = f.transient {
+                if cold && f.rng.chance(t.init_failure_p) {
+                    planned_fail = Some((FaultKind::Init, record.init_ms));
+                } else if f.rng.chance(t.exec_failure_p) {
+                    planned_fail = Some((
+                        FaultKind::Exec,
+                        record.init_ms + record.duration_ms * t.failure_duration_frac,
+                    ));
+                }
+            }
+        }
+        if let Some(tmo) = self.timeout_ms {
+            let planned = planned_fail.map_or(latency_ms, |(_, at)| at);
+            if tmo < planned {
+                planned_fail = Some((FaultKind::Timeout, tmo));
+            }
+        }
         // The monitor's wrapper overhead occupies the instance past the
         // user-visible completion; the sample itself is written (ingested)
-        // when the instance is released.
-        let (occupancy_ms, sample) = match &mut self.sizing {
-            Some(s) => (
-                latency_ms + s.monitor.overhead_ms,
-                Some(s.monitor.observe(now_ms, &record.usage, &mut self.monitor_rng)),
-            ),
-            None => (latency_ms, None),
+        // when the instance is released. A failing attempt occupies its
+        // instance only until the failure and never produces a sample —
+        // failed executions are excluded from the sizing window.
+        let (occupancy_ms, sample) = match planned_fail {
+            Some((_, at)) => (at, None),
+            None => match &mut self.sizing {
+                Some(s) => (
+                    latency_ms + s.monitor.overhead_ms,
+                    Some(s.monitor.observe(now_ms, &record.usage, &mut self.monitor_rng)),
+                ),
+                None => (latency_ms, None),
+            },
         };
+        let epoch = self.faults.as_ref().map_or(0, |f| f.epoch[host]);
+        let fail_cause = planned_fail.map(|(c, _)| c);
         sim.schedule_at(SimTime::from_millis(now_ms + occupancy_ms), move |s, f| {
             let done = Completion {
                 fn_id,
@@ -574,9 +774,263 @@ impl<S: TraceSink + 'static> Fleet<S> {
                 occupancy_ms,
                 exec_ms,
                 cost_usd,
+                attempt,
+                epoch,
             };
-            f.on_complete(s, done, sample);
+            f.on_settle(s, done, sample, fail_cause);
         });
+    }
+
+    /// Every attempt settles here: a host crash since dispatch overrides
+    /// everything (the placement's generation was pruned), then a planned
+    /// transient fault or timeout, and only then normal completion.
+    fn on_settle(
+        &mut self,
+        sim: &mut Simulation<Self>,
+        done: Completion,
+        sample: Option<InvocationSample>,
+        fault: Option<FaultKind>,
+    ) {
+        let now_ms = sim.now().as_millis();
+        let crashed = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.epoch[done.host] != done.epoch);
+        if crashed {
+            // The host crashed between dispatch and settle: its pools were
+            // pruned wholesale, so there is no placement left to complete.
+            // lint: allow(panic002) reason="a stale epoch is only possible when a fault plan is installed"
+            let f = self.faults.as_mut().expect("stale epochs imply faults");
+            f.crash_zombies -= 1;
+            self.fail_attempt(sim, done, FaultKind::HostCrash);
+            return;
+        }
+        if let Some(cause) = fault {
+            // TTL 0 reclaims the instance immediately (an expiration) and
+            // accounts the partial busy time up to the failure point.
+            self.hosts[done.host].complete(done.pool, done.placement, now_ms, 0.0, done.occupancy_ms);
+            self.fail_attempt(sim, done, cause);
+            return;
+        }
+        self.on_complete(sim, done, sample);
+    }
+
+    /// A failed attempt either schedules a retry (staying in flight and
+    /// holding its limit slot through the backoff) or fails the request
+    /// terminally.
+    fn fail_attempt(&mut self, sim: &mut Simulation<Self>, done: Completion, cause: FaultKind) {
+        let now_ms = sim.now().as_millis();
+        self.counters.failed_attempts += 1;
+        self.sink.record(
+            now_ms,
+            TraceEvent::InvocationFailed {
+                fn_id: done.fn_id as u32,
+                host: done.host as u32,
+                attempt: done.attempt as u32,
+                cause,
+            },
+        );
+        if let Some(o) = self.obs.as_mut() {
+            o.registry.inc(o.invocation_failures);
+        }
+        let next = done.attempt + 1;
+        let backoff = match self.retry.as_mut() {
+            Some(r) => r.policy.backoff_ms(done.fn_id, next, &mut r.rng),
+            None => None,
+        };
+        if let Some(delay_ms) = backoff {
+            // lint: allow(panic002) reason="backoff is only Some when a retry policy is installed"
+            let r = self.retry.as_mut().expect("backoff implies a retry policy");
+            r.pending += 1;
+            self.counters.retries_scheduled += 1;
+            self.sink.record(
+                now_ms,
+                TraceEvent::RetryScheduled {
+                    fn_id: done.fn_id as u32,
+                    attempt: next as u32,
+                    delay_ms,
+                },
+            );
+            if let Some(o) = self.obs.as_mut() {
+                o.registry.inc(o.retries);
+            }
+            let fn_id = done.fn_id;
+            sim.schedule_at(SimTime::from_millis(now_ms + delay_ms), move |s, fl| {
+                let at = s.now().as_millis();
+                fl.start_attempt(s, fn_id, next, at);
+            });
+        } else {
+            self.counters.failed += 1;
+            if done.attempt > 1 {
+                self.counters.failed_after_retries += 1;
+            }
+            self.counters.in_flight -= 1;
+            self.limits.release(done.fn_id);
+        }
+        if self.check_invariants {
+            self.assert_invariants(now_ms);
+        }
+    }
+
+    /// Crashes `host` at the current simulation time: warm generations are
+    /// pruned, in-flight attempts become zombies that fail at their settle
+    /// events, and the host rejoins cold after `down_ms`.
+    fn on_host_crash(&mut self, sim: &mut Simulation<Self>, host: usize, down_ms: f64) {
+        if !self.hosts[host].is_available() {
+            return;
+        }
+        let now_ms = sim.now().as_millis();
+        let (lost_in_flight, lost_warm) = self.hosts[host].crash(now_ms);
+        let recovery_ms = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.recovery)
+            .map_or(0.0, |r| r.recovery_ms);
+        // lint: allow(panic002) reason="crash events are only scheduled when a fault plan is installed"
+        let f = self.faults.as_mut().expect("crash events imply faults");
+        f.epoch[host] += 1;
+        f.down_since[host] = now_ms;
+        f.crash_zombies += lost_in_flight;
+        f.summary.host_crashes += 1;
+        f.summary.failed_in_flight += lost_in_flight;
+        f.summary.lost_warm += lost_warm;
+        if f.drift_mask {
+            // The mask covers the outage plus the post-rejoin recovery
+            // window, when crash-induced latency spikes would otherwise
+            // read as workload drift.
+            f.mask_until_ms = f.mask_until_ms.max(now_ms + down_ms + recovery_ms + f.mask_pad_ms);
+        }
+        self.sink.record(
+            now_ms,
+            TraceEvent::HostDown {
+                host: host as u32,
+                failed_in_flight: lost_in_flight as u32,
+                lost_warm: lost_warm as u32,
+            },
+        );
+        if let Some(o) = self.obs.as_mut() {
+            o.registry.inc(o.host_crashes);
+        }
+        sim.schedule_at(SimTime::from_millis(now_ms + down_ms), move |s, fl| {
+            fl.on_host_rejoin(s, host);
+        });
+        if self.check_invariants {
+            self.assert_invariants(now_ms);
+        }
+    }
+
+    fn on_host_rejoin(&mut self, sim: &mut Simulation<Self>, host: usize) {
+        if self.hosts[host].is_available() {
+            return;
+        }
+        let now_ms = sim.now().as_millis();
+        self.hosts[host].rejoin();
+        // lint: allow(panic002) reason="rejoin events are only scheduled when a fault plan is installed"
+        let f = self.faults.as_mut().expect("rejoin events imply faults");
+        let down_ms = now_ms - f.down_since[host];
+        if let Some(r) = f.recovery {
+            f.recovering_until[host] = now_ms + r.recovery_ms;
+        }
+        self.sink.record(now_ms, TraceEvent::HostUp { host: host as u32, down_ms });
+    }
+
+    /// Begins a region-wide outage: every available host crashes and new
+    /// arrivals divert to failover (or shed) until [`Fleet::end_outage`].
+    /// Driven externally by the multi-region runner.
+    pub(crate) fn begin_outage(&mut self, sim: &mut Simulation<Self>) {
+        let now_ms = sim.now().as_millis();
+        for host in 0..self.hosts.len() {
+            if !self.hosts[host].is_available() {
+                continue;
+            }
+            let (lost_in_flight, lost_warm) = self.hosts[host].crash(now_ms);
+            // lint: allow(panic002) reason="outage events are only scheduled when a fault plan is installed"
+            let f = self.faults.as_mut().expect("outage events imply faults");
+            f.epoch[host] += 1;
+            f.down_since[host] = now_ms;
+            f.crash_zombies += lost_in_flight;
+            f.summary.host_crashes += 1;
+            f.summary.failed_in_flight += lost_in_flight;
+            f.summary.lost_warm += lost_warm;
+            self.sink.record(
+                now_ms,
+                TraceEvent::HostDown {
+                    host: host as u32,
+                    failed_in_flight: lost_in_flight as u32,
+                    lost_warm: lost_warm as u32,
+                },
+            );
+            if let Some(o) = self.obs.as_mut() {
+                o.registry.inc(o.host_crashes);
+            }
+        }
+        // lint: allow(panic002) reason="outage events are only scheduled when a fault plan is installed"
+        let f = self.faults.as_mut().expect("outage events imply faults");
+        f.outage = true;
+        if self.check_invariants {
+            self.assert_invariants(now_ms);
+        }
+    }
+
+    /// Ends a region-wide outage: every downed host rejoins cold.
+    pub(crate) fn end_outage(&mut self, sim: &mut Simulation<Self>) {
+        let now_ms = sim.now().as_millis();
+        // lint: allow(panic002) reason="outage events are only scheduled when a fault plan is installed"
+        let f = self.faults.as_mut().expect("outage events imply faults");
+        let recovery_ms = f.recovery.map_or(0.0, |r| r.recovery_ms);
+        if f.drift_mask {
+            f.mask_until_ms = f.mask_until_ms.max(now_ms + recovery_ms + f.mask_pad_ms);
+        }
+        f.outage = false;
+        for host in 0..self.hosts.len() {
+            if self.hosts[host].is_available() {
+                continue;
+            }
+            self.hosts[host].rejoin();
+            // lint: allow(panic002) reason="outage events are only scheduled when a fault plan is installed"
+            let f = self.faults.as_mut().expect("outage events imply faults");
+            let down_ms = now_ms - f.down_since[host];
+            if f.recovery.is_some() {
+                f.recovering_until[host] = now_ms + recovery_ms;
+            }
+            self.sink.record(now_ms, TraceEvent::HostUp { host: host as u32, down_ms });
+        }
+    }
+
+    /// Whether a region-wide outage is currently active.
+    pub(crate) fn in_outage(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.outage)
+    }
+
+    /// Drains the arrivals diverted away during an active outage, for the
+    /// multi-region runner to route to a healthy region.
+    pub(crate) fn take_diverted(&mut self) -> Vec<(f64, usize)> {
+        self.faults
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.diverted))
+            .unwrap_or_default()
+    }
+
+    /// Accepts a request failed over from another region: it enters this
+    /// fleet's admission path like a local arrival.
+    pub(crate) fn accept_failover(&mut self, sim: &mut Simulation<Self>, fn_id: usize) {
+        let now_ms = sim.now().as_millis();
+        if let Some(f) = self.faults.as_mut() {
+            f.summary.failovers_in += 1;
+        }
+        self.dispatch(sim, fn_id, now_ms);
+        if self.check_invariants {
+            self.assert_invariants(now_ms);
+        }
+    }
+
+    /// Sheds a diverted arrival when no healthy failover target exists: it
+    /// still counts as submitted, then throttles via the 429 path.
+    pub(crate) fn shed_diverted(&mut self, now_ms: f64, fn_id: usize) {
+        self.counters.submitted += 1;
+        self.keepalive.observe_arrival(fn_id, now_ms);
+        self.counters.throttled_capacity += 1;
+        self.trace_throttle(now_ms, fn_id, ThrottleCause::Capacity);
     }
 
     fn on_complete(
@@ -593,6 +1047,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
         self.counters.exec_mb_ms += exec_mb_ms;
         self.counters.in_flight -= 1;
         self.counters.completed += 1;
+        self.counters.sum_attempts_completed += done.attempt;
         self.counters.sum_latency_ms += done.latency_ms;
         self.counters.sum_cost_usd += done.cost_usd;
         self.max_latency_ms = self.max_latency_ms.max(done.latency_ms);
@@ -601,6 +1056,13 @@ impl<S: TraceSink + 'static> Fleet<S> {
             o.registry.observe(o.exec_ms, done.exec_ms);
         }
 
+        // While a crash or outage mask is active, drift detections are
+        // suppressed: recovery-degraded samples would otherwise trigger
+        // false reverts to base.
+        let fault_masked = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.drift_mask && now_ms < f.mask_until_ms);
         let mut directive = None;
         if let Some(sizing) = &mut self.sizing {
             let c = &mut sizing.counters;
@@ -628,13 +1090,17 @@ impl<S: TraceSink + 'static> Fleet<S> {
             // the service knowing about tracing.
             let phase_before = sizing.service.phase(done.fn_id);
             let drift_before = sizing.service.stats().drift_detections;
+            let suppressed_before = sizing.service.stats().drift_suppressed_by_fault;
             let artifacts_before = sizing.service.plane_stats().artifact_updates;
-            directive = sizing.service.ingest(done.fn_id, done.memory, sample);
+            directive = sizing.service.ingest_masked(done.fn_id, done.memory, sample, fault_masked);
             if sizing.service.stats().drift_detections > drift_before {
                 self.sink.record(now_ms, TraceEvent::DriftDetected { fn_id: done.fn_id as u32 });
                 if let Some(o) = self.obs.as_mut() {
                     o.registry.inc(o.drift_detections);
                 }
+            }
+            if sizing.service.stats().drift_suppressed_by_fault > suppressed_before {
+                self.sink.record(now_ms, TraceEvent::DriftSuppressed { fn_id: done.fn_id as u32 });
             }
             let phase_after = sizing.service.phase(done.fn_id);
             if let (Some(from), Some(to)) = (phase_before, phase_after) {
@@ -753,7 +1219,16 @@ impl<S: TraceSink + 'static> Fleet<S> {
             "limit ledger out of sync"
         );
         let host_in_flight: usize = self.hosts.iter().map(Host::in_flight).sum();
-        assert_eq!(self.counters.in_flight, host_in_flight, "host ledger out of sync");
+        // In-flight requests live on a host, are zombies of a crashed host
+        // (they fail at their settle event), or are waiting out a retry
+        // backoff while still holding their limit slot.
+        let crash_zombies = self.faults.as_ref().map_or(0, |f| f.crash_zombies);
+        let retry_pending = self.retry.as_ref().map_or(0, |r| r.pending);
+        assert_eq!(
+            self.counters.in_flight,
+            host_in_flight + crash_zombies + retry_pending,
+            "host ledger out of sync"
+        );
         if let Some(cap) = self.limits.account_limit() {
             assert!(self.limits.in_flight() <= cap, "account limit exceeded");
         }
@@ -789,6 +1264,14 @@ impl<S: TraceSink + 'static> Fleet<S> {
             if at < self.duration_ms {
                 sim.schedule_at(SimTime::from_millis(at), move |s, f| {
                     Self::on_arrival(s, f, fn_id);
+                });
+            }
+        }
+        if let Some(f) = &self.faults {
+            for c in &f.crashes {
+                let (host, down_ms) = (c.host, c.down_ms);
+                sim.schedule_at(SimTime::from_millis(c.at_ms), move |s, fl| {
+                    fl.on_host_crash(s, host, down_ms);
                 });
             }
         }
@@ -854,6 +1337,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
                 handlers_scheduled: engine.scheduled,
                 peak_queue_depth: engine.peak_pending,
             },
+            faults: self.faults.as_ref().map(|f| f.summary),
             rightsizing: self.sizing.map(|s| RightsizingReport {
                 counters: s.counters,
                 metrics: RightsizingMetrics::from_counters(&s.counters),
@@ -906,6 +1390,31 @@ pub fn run_rightsized_fleet(
         keepalive.build(functions.len(), default_ttl),
     )
     .with_sizing(service)
+    .run()
+}
+
+/// Runs a fleet under a fault plan with a retry policy — the one-call
+/// façade for resilience experiments. The report's
+/// [`FleetReport::faults`] section summarizes crashes and failovers.
+pub fn run_faulted_fleet(
+    platform: &Platform,
+    config: &FleetConfig,
+    functions: &[FleetFunction],
+    scheduler: SchedulerKind,
+    keepalive: KeepAliveKind,
+    plan: &FaultPlan,
+    retry: RetryKind,
+) -> FleetReport {
+    let default_ttl = platform.cold_start_model().idle_ttl_ms;
+    Fleet::new(
+        platform,
+        config,
+        functions,
+        scheduler.build(),
+        keepalive.build(functions.len(), default_ttl),
+    )
+    .with_faults(plan)
+    .with_retries(retry)
     .run()
 }
 
@@ -1268,5 +1777,138 @@ mod tests {
         );
         assert_eq!(report.counters.throttled(), 0);
         assert_eq!(report.counters.submitted, report.counters.completed);
+    }
+
+    #[test]
+    fn transient_faults_fail_requests_without_retries() {
+        let plan = FaultPlan::none().with_transient(0.1, 0.15, 0.5).with_seed(3);
+        let report = run_faulted_fleet(
+            &Platform::aws_like(),
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+            &plan,
+            RetryKind::None,
+        );
+        assert!(report.counters.failed > 0, "{:?}", report.counters);
+        assert!(report.counters.completed > 0);
+        assert!(report.counters.is_conserved());
+        assert_eq!(report.counters.in_flight, 0);
+        // Without retries every failed attempt is a terminal failure.
+        assert_eq!(report.counters.failed_attempts, report.counters.failed);
+        assert_eq!(report.counters.retries_scheduled, 0);
+        assert!(report.metrics.availability < 1.0);
+    }
+
+    #[test]
+    fn retries_recover_requests_that_no_retry_loses() {
+        let plan = FaultPlan::none().with_transient(0.1, 0.15, 0.5).with_seed(3);
+        let run = |retry: RetryKind| {
+            run_faulted_fleet(
+                &Platform::aws_like(),
+                &config(),
+                &functions(),
+                SchedulerKind::WarmFirst,
+                KeepAliveKind::FixedTtl,
+                &plan,
+                retry,
+            )
+        };
+        let bare = run(RetryKind::None);
+        let backed = run(RetryKind::ExponentialBackoff {
+            base_ms: 50.0,
+            factor: 2.0,
+            cap_ms: 2_000.0,
+            max_attempts: 4,
+            jitter_frac: 0.2,
+            budget_per_fn: None,
+        });
+        assert!(backed.counters.is_conserved());
+        assert!(
+            backed.counters.completed > bare.counters.completed,
+            "backoff {:?} vs none {:?}",
+            backed.counters,
+            bare.counters
+        );
+        assert!(backed.counters.retries_scheduled > 0);
+        assert!(backed.metrics.mean_attempts_per_completion > 1.0);
+        assert!(backed.metrics.availability > bare.metrics.availability);
+    }
+
+    #[test]
+    fn scheduled_crash_keeps_accounting_conserved() {
+        // Invariant checks stay on through crash, zombie settles, and
+        // cold rejoin; the crash shows up in the report's fault summary.
+        let plan = FaultPlan::none()
+            .with_crash(0, 5_000.0, 2_000.0)
+            .with_crash(1, 9_000.0, 1_500.0)
+            .with_recovery(3_000.0, 2.0)
+            .with_seed(11);
+        let report = run_faulted_fleet(
+            &Platform::aws_like(),
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst,
+            KeepAliveKind::FixedTtl,
+            &plan,
+            RetryKind::Fixed { max_attempts: 3, delay_ms: 100.0 },
+        );
+        let faults = report.faults.expect("fault plans report a summary");
+        assert_eq!(faults.host_crashes, 2);
+        assert!(report.counters.is_conserved());
+        assert_eq!(report.counters.in_flight, 0);
+        // Crash-failed attempts are attempts, whatever their fate after
+        // retries.
+        assert!(report.counters.failed_attempts >= faults.failed_in_flight);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let plan = FaultPlan::none()
+            .with_crash(0, 4_000.0, 1_000.0)
+            .with_crash_process(30_000.0, 2_000.0)
+            .with_transient(0.05, 0.1, 0.25)
+            .with_recovery(2_000.0, 1.5)
+            .with_seed(21);
+        let run = || {
+            run_faulted_fleet(
+                &Platform::aws_like(),
+                &config(),
+                &functions(),
+                SchedulerKind::Random,
+                KeepAliveKind::Adaptive,
+                &plan,
+                RetryKind::ExponentialBackoff {
+                    base_ms: 100.0,
+                    factor: 2.0,
+                    cap_ms: 3_000.0,
+                    max_attempts: 3,
+                    jitter_frac: 0.5,
+                    budget_per_fn: Some(64),
+                },
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timeouts_cap_slow_invocations() {
+        let platform = Platform::aws_like();
+        let default_ttl = platform.cold_start_model().idle_ttl_ms;
+        let fleet = Fleet::new(
+            &platform,
+            &config(),
+            &functions(),
+            SchedulerKind::WarmFirst.build(),
+            KeepAliveKind::FixedTtl.build(2, default_ttl),
+        )
+        .with_timeout(5.0);
+        let report = fleet.run();
+        // Both profiles run well past 5 ms, so every attempt times out.
+        assert_eq!(report.counters.completed, 0);
+        assert!(report.counters.failed > 0);
+        assert!(report.counters.is_conserved());
+        assert_eq!(report.counters.in_flight, 0);
     }
 }

@@ -74,6 +74,10 @@ pub struct Host {
     pruned_evictions: usize,
     pruned_expirations: usize,
     pruned_wasted_mb_ms: f64,
+    /// Cleared by [`Host::crash`], restored by [`Host::rejoin`]. A down
+    /// host serves nothing: placement, feasibility, and warm reuse all
+    /// refuse until rejoin.
+    available: bool,
 }
 
 impl Host {
@@ -97,7 +101,48 @@ impl Host {
             pruned_evictions: 0,
             pruned_expirations: 0,
             pruned_wasted_mb_ms: 0.0,
+            available: true,
         }
+    }
+
+    /// Whether the host is up (not inside a crash's downtime window).
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// Crashes the host at `now_ms`: every pool generation is destroyed —
+    /// idle instances accrue their waste and count as evictions, in-flight
+    /// instances are torn down (their partially accrued busy time is
+    /// deliberately dropped: work lost to a crash is not billable
+    /// utilization) — and the host refuses all placements until
+    /// [`Host::rejoin`]. Outstanding [`Placement`]s become dangling; the
+    /// fleet recognizes them by crash epoch and must never pass them back
+    /// to [`Host::complete`]. Returns `(in-flight instances lost, warm
+    /// idle instances lost)`.
+    pub fn crash(&mut self, now_ms: f64) -> (usize, usize) {
+        self.available = false;
+        let mut lost_warm = 0;
+        for gens in &mut self.pools {
+            for fp in &mut gens.gens {
+                lost_warm += fp.pool.retire_idle(now_ms);
+            }
+        }
+        let lost_in_flight = self.in_flight();
+        for gens in &mut self.pools {
+            gens.first += gens.gens.len();
+            for dead in gens.gens.drain(..) {
+                self.pruned_provisioned += dead.pool.provisioned();
+                self.pruned_evictions += dead.pool.evictions();
+                self.pruned_expirations += dead.pool.expirations();
+                self.pruned_wasted_mb_ms += dead.pool.wasted_idle_ms() * dead.mem_mb;
+            }
+        }
+        (lost_in_flight, lost_warm)
+    }
+
+    /// Brings a crashed host back up with completely cold pools.
+    pub fn rejoin(&mut self) {
+        self.available = true;
     }
 
     /// The host's identifier (its index in the fleet).
@@ -228,6 +273,9 @@ impl Host {
     /// Warm instances of `fn_id` available for reuse at `now_ms` — active
     /// generation only; retired generations never serve requests.
     pub fn warm_idle(&mut self, fn_id: usize, now_ms: f64) -> usize {
+        if !self.available {
+            return 0;
+        }
         match self.pools.get_mut(fn_id).and_then(FnGens::active_mut) {
             Some(fp) => fp.pool.warm_idle_at(now_ms),
             None => 0,
@@ -247,6 +295,9 @@ impl Host {
     /// at `now_ms` — warm reuse, a free-memory placement, or a placement
     /// after evicting idle instances.
     pub fn feasible(&mut self, fn_id: usize, mem_mb: f64, now_ms: f64) -> bool {
+        if !self.available {
+            return false;
+        }
         if self.active_matches(fn_id, mem_mb) && self.warm_idle(fn_id, now_ms) > 0 {
             return true;
         }
@@ -291,6 +342,9 @@ impl Host {
         default_ttl_ms: f64,
         now_ms: f64,
     ) -> Option<(Placement, bool)> {
+        if !self.available {
+            return None;
+        }
         let generation = self.ensure_pool(fn_id, mem_mb, default_ttl_ms, now_ms);
         if self.warm_idle(fn_id, now_ms) > 0 {
             return self.pools[fn_id]
@@ -595,5 +649,68 @@ mod tests {
         // Only the newest generation may hold warmth.
         assert_eq!(h.warm_idle(0, 510.0), 1);
         assert_eq!(h.committed_mb(510.0), 2048.0);
+    }
+
+    #[test]
+    fn crash_loses_warmth_and_in_flight_and_refuses_placement() {
+        let mut h = Host::new(0, 2048.0);
+        let (idle, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        let (_busy, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        let (_other, _) = h.try_begin(1, 256.0, TTL, 0.0).unwrap();
+        h.complete(0, idle, 40.0, TTL, 40.0);
+
+        assert!(h.is_available());
+        let (lost_in_flight, lost_warm) = h.crash(100.0);
+        assert_eq!(lost_in_flight, 2, "both busy instances are torn down");
+        assert_eq!(lost_warm, 1, "the idle instance is lost too");
+
+        assert!(!h.is_available());
+        assert_eq!(h.in_flight(), 0);
+        assert_eq!(h.committed_mb(100.0), 0.0, "a down host commits nothing");
+        assert_eq!(h.warm_idle(0, 100.0), 0);
+        assert!(!h.feasible(0, 512.0, 100.0));
+        assert!(h.try_begin(0, 512.0, TTL, 100.0).is_none());
+    }
+
+    #[test]
+    fn crash_and_rejoin_keep_counters_conserved() {
+        let mut h = Host::new(0, 2048.0);
+        let (a, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        h.complete(0, a, 50.0, TTL, 50.0);
+        let (_b, _) = h.try_begin(1, 256.0, TTL, 60.0).unwrap();
+        let busy_before = h.busy_mb_ms();
+
+        let (lost_in_flight, lost_warm) = h.crash(100.0);
+        assert_eq!((lost_in_flight, lost_warm), (1, 1));
+        // Lifetime counters fold into the host totals instead of vanishing.
+        assert_eq!(h.provisioned(), 2);
+        assert_eq!(h.evictions(), 1, "crashed idle counts as an eviction");
+        assert_eq!(h.wasted_mb_ms(), (100.0 - 50.0) * 512.0);
+        assert_eq!(
+            h.busy_mb_ms(),
+            busy_before,
+            "partial busy time of crashed in-flight work is dropped"
+        );
+
+        // Rejoin serves cold, with fresh generations.
+        h.rejoin();
+        assert!(h.is_available());
+        let (_, cold) = h.try_begin(0, 512.0, TTL, 200.0).unwrap();
+        assert!(cold, "no warmth survives a crash");
+        assert_eq!(h.provisioned(), 3);
+        assert_eq!(h.in_flight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never created on this host")]
+    fn completing_a_crashed_placement_panics() {
+        // The fleet must recognize crashed placements by epoch and never
+        // release them back into a host — doing so is a logic error.
+        let mut h = Host::new(0, 1024.0);
+        let (p, _) = h.try_begin(0, 512.0, TTL, 0.0).unwrap();
+        let _ = h.crash(10.0);
+        h.rejoin();
+        let _ = h.try_begin(0, 512.0, TTL, 20.0).unwrap();
+        h.complete(0, p, 30.0, TTL, 30.0);
     }
 }

@@ -78,6 +78,7 @@
 //! assert!(report.metrics.utilization > 0.0);
 //! ```
 
+pub mod faults;
 pub mod fleet;
 pub mod host;
 pub mod keepalive;
@@ -88,8 +89,12 @@ pub mod stats;
 
 /// Re-exports of the most used fleet items.
 pub mod prelude {
+    pub use crate::faults::{
+        ExponentialBackoff, FaultPlan, FixedRetry, NoRetry, RetryKind, RetryPolicy,
+    };
     pub use crate::fleet::{
-        run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction,
+        run_faulted_fleet, run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig,
+        FleetFunction,
     };
     pub use crate::host::{Host, Placement};
     pub use crate::keepalive::{
@@ -97,22 +102,27 @@ pub mod prelude {
     };
     pub use crate::limits::{ConcurrencyLimits, ThrottleReason};
     pub use crate::region::{
-        run_multi_region, MultiRegionOptions, MultiRegionReport, RegionReport, RegionSpec,
-        WorkloadShift,
+        run_multi_region, run_multi_region_faulted, MultiRegionOptions, MultiRegionReport,
+        RegionReport, RegionSpec, WorkloadShift,
     };
     pub use crate::scheduler::{
         LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst,
     };
-    pub use crate::stats::{FleetReport, RightsizingReport};
+    pub use crate::stats::{FaultSummary, FleetReport, RightsizingReport};
 }
 
-pub use fleet::{run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig, FleetFunction};
+pub use faults::{ExponentialBackoff, FaultPlan, FixedRetry, NoRetry, RetryKind, RetryPolicy};
+pub use fleet::{
+    run_faulted_fleet, run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig,
+    FleetFunction,
+};
 pub use host::{Host, Placement};
 pub use keepalive::{AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive};
 pub use limits::{ConcurrencyLimits, ThrottleReason};
 pub use region::{
-    run_multi_region, run_multi_region_traced, MultiRegionOptions, MultiRegionReport,
-    RegionReport, RegionSpec, WorkloadShift,
+    run_multi_region, run_multi_region_faulted, run_multi_region_faulted_traced,
+    run_multi_region_traced, MultiRegionOptions, MultiRegionReport, RegionReport, RegionSpec,
+    WorkloadShift,
 };
 pub use scheduler::{LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst};
-pub use stats::{FleetReport, RightsizingReport};
+pub use stats::{FaultSummary, FleetReport, RightsizingReport};

@@ -22,13 +22,14 @@
 //! re-measurement policies (full revert vs shadow sampling) and the
 //! adaptation policies (frozen vs fine-tuned) in the first place.
 
+use crate::faults::{FaultPlan, RetryKind};
 use crate::fleet::{Fleet, FleetConfig, FleetFunction};
 use crate::keepalive::KeepAliveKind;
 use crate::scheduler::SchedulerKind;
 use crate::stats::FleetReport;
 use serde::{Deserialize, Serialize};
 use sizeless_core::service::{ControlPlane, PlaneStats, RemeasureKind, ServiceConfig};
-use sizeless_engine::{SimTime, Simulation};
+use sizeless_engine::{fnv1a, SimTime, Simulation};
 use sizeless_obs::{NullSink, TraceEvent, TraceSink};
 use sizeless_platform::{Platform, ResourceProfile};
 
@@ -158,6 +159,52 @@ pub fn run_multi_region(
     run_multi_region_traced(platform, regions, plane, opts, |_| NullSink).0
 }
 
+/// [`run_multi_region`] under a [`FaultPlan`]: every region's fleet gets
+/// the plan (its seed XOR-derived from the region name, so regions draw
+/// independent fault streams), the plan's `outage` clauses take whole
+/// regions dark on schedule, and — unless the plan says `nofailover` —
+/// arrivals during an outage fail over to the next healthy region in spec
+/// order (shedding via the 429 path when none is healthy).
+///
+/// # Panics
+///
+/// Panics if `regions` is empty, a shift names an out-of-range function,
+/// or the plan has outages while the regions disagree on function count
+/// (failover re-dispatches by function id).
+pub fn run_multi_region_faulted(
+    platform: &Platform,
+    regions: &[RegionSpec],
+    plane: &ControlPlane,
+    opts: &MultiRegionOptions,
+    plan: &FaultPlan,
+    retry: RetryKind,
+) -> MultiRegionReport {
+    run_multi_region_faulted_traced(platform, regions, plane, opts, plan, retry, |_| NullSink).0
+}
+
+/// [`run_multi_region_faulted`] with tracing — see
+/// [`run_multi_region_traced`] for the sink contract. Failovers appear as
+/// [`TraceEvent::RegionFailover`] in the *receiving* region's trace.
+///
+/// # Panics
+///
+/// As [`run_multi_region_faulted`].
+pub fn run_multi_region_faulted_traced<S, F>(
+    platform: &Platform,
+    regions: &[RegionSpec],
+    plane: &ControlPlane,
+    opts: &MultiRegionOptions,
+    plan: &FaultPlan,
+    retry: RetryKind,
+    make_sink: F,
+) -> (MultiRegionReport, Vec<S>)
+where
+    S: TraceSink + 'static,
+    F: FnMut(usize) -> S,
+{
+    run_multi_region_inner(platform, regions, plane, opts, Some((plan, retry)), make_sink)
+}
+
 /// [`run_multi_region`] with tracing: `make_sink` builds one sink per
 /// region (called with the region index, in spec order), and the merged
 /// driver additionally records a [`TraceEvent::RegionHandoff`] into the
@@ -172,6 +219,21 @@ pub fn run_multi_region_traced<S, F>(
     regions: &[RegionSpec],
     plane: &ControlPlane,
     opts: &MultiRegionOptions,
+    make_sink: F,
+) -> (MultiRegionReport, Vec<S>)
+where
+    S: TraceSink + 'static,
+    F: FnMut(usize) -> S,
+{
+    run_multi_region_inner(platform, regions, plane, opts, None, make_sink)
+}
+
+fn run_multi_region_inner<S, F>(
+    platform: &Platform,
+    regions: &[RegionSpec],
+    plane: &ControlPlane,
+    opts: &MultiRegionOptions,
+    faults: Option<(&FaultPlan, RetryKind)>,
     mut make_sink: F,
 ) -> (MultiRegionReport, Vec<S>)
 where
@@ -179,6 +241,17 @@ where
     F: FnMut(usize) -> S,
 {
     assert!(!regions.is_empty(), "a multi-region run needs at least one region");
+    if let Some((plan, _)) = faults {
+        if !plan.outages.is_empty() {
+            // Failover re-dispatches by function id into another region.
+            let mut counts = regions.iter().map(|r| r.functions.len());
+            let first = counts.next().unwrap_or(0);
+            assert!(
+                counts.all(|n| n == first),
+                "failover requires every region to serve the same function set"
+            );
+        }
+    }
     let default_ttl = platform.cold_start_model().idle_ttl_ms;
     let mut fleets: Vec<Fleet<S>> = regions
         .iter()
@@ -193,7 +266,7 @@ where
                     spec.functions.len()
                 );
             }
-            Fleet::new(
+            let mut fleet = Fleet::new(
                 platform,
                 &spec.config,
                 &spec.functions,
@@ -201,12 +274,19 @@ where
                 opts.keepalive.build(spec.functions.len(), default_ttl),
             )
             .with_sizing(plane.handle(opts.service, opts.remeasure.build()))
-            .with_trace(make_sink(i))
+            .with_trace(make_sink(i));
+            if let Some((plan, retry)) = &faults {
+                // Regions draw independent fault streams: same plan, seed
+                // diversified by the (stable) region name.
+                let region_plan = (*plan).clone().with_seed(plan.seed ^ fnv1a(&spec.name));
+                fleet = fleet.with_faults(&region_plan).with_retries(*retry);
+            }
+            fleet
         })
         .collect();
 
     let mut sims: Vec<Simulation<Fleet<S>>> = Vec::with_capacity(regions.len());
-    for (spec, fleet) in regions.iter().zip(&mut fleets) {
+    for (i, (spec, fleet)) in regions.iter().zip(&mut fleets).enumerate() {
         let mut sim: Simulation<Fleet<S>> = Simulation::new();
         fleet.prime(&mut sim);
         for shift in &spec.shifts {
@@ -215,6 +295,16 @@ where
             sim.schedule_at(SimTime::from_millis(shift.at_ms), move |_, f| {
                 f.shift_profile(fn_id, profile);
             });
+        }
+        if let Some((plan, _)) = &faults {
+            for o in plan.outages.iter().filter(|o| o.region == i) {
+                sim.schedule_at(SimTime::from_millis(o.at_ms), |s, f: &mut Fleet<S>| {
+                    f.begin_outage(s);
+                });
+                sim.schedule_at(SimTime::from_millis(o.at_ms + o.down_ms), |s, f: &mut Fleet<S>| {
+                    f.end_outage(s);
+                });
+            }
         }
         sims.push(sim);
     }
@@ -248,6 +338,34 @@ where
         }
         last = Some(i);
         sims[i].step(&mut fleets[i]);
+        // Route any arrivals the stepped region diverted during an active
+        // outage: the next healthy region in spec order takes them (at the
+        // same virtual time — the merged loop just advanced the globally
+        // earliest event, so no target clock has passed it), or they shed
+        // locally when every region is dark.
+        let diverted = fleets[i].take_diverted();
+        if !diverted.is_empty() {
+            let n = fleets.len();
+            for (at_ms, fn_id) in diverted {
+                let target = (1..n).map(|k| (i + k) % n).find(|&j| !fleets[j].in_outage());
+                match target {
+                    Some(j) => {
+                        fleets[j].sink_mut().record(
+                            at_ms,
+                            TraceEvent::RegionFailover {
+                                fn_id: fn_id as u32,
+                                from_region: i as u32,
+                                to_region: j as u32,
+                            },
+                        );
+                        sims[j].schedule_at(SimTime::from_millis(at_ms), move |s, f| {
+                            f.accept_failover(s, fn_id);
+                        });
+                    }
+                    None => fleets[i].shed_diverted(at_ms, fn_id),
+                }
+            }
+        }
     }
 
     let mut sinks = Vec::with_capacity(fleets.len());
@@ -475,5 +593,128 @@ mod tests {
         let mut specs = regions();
         specs[1].shifts[0].fn_id = 9;
         let _ = run_multi_region(&platform, &specs, &plane, &options());
+    }
+
+    fn outage_plan() -> FaultPlan {
+        // Region 1 goes dark for the middle 8 s of the 20 s run.
+        FaultPlan::none().with_outage(1, 6_000.0, 8_000.0).with_seed(5)
+    }
+
+    #[test]
+    fn failover_reroutes_outage_traffic_to_the_healthy_region() {
+        let platform = Platform::aws_like();
+        let sizer = quick_sizer();
+        let plane = || ControlPlane::frozen(sizer.clone());
+        let with = run_multi_region_faulted(
+            &platform,
+            &regions(),
+            &plane(),
+            &options(),
+            &outage_plan(),
+            RetryKind::None,
+        );
+        let without = run_multi_region_faulted(
+            &platform,
+            &regions(),
+            &plane(),
+            &options(),
+            &outage_plan().without_failover(),
+            RetryKind::None,
+        );
+        let faults = |r: &MultiRegionReport, i: usize| r.regions[i].report.faults.unwrap();
+        // The dark region diverted its outage arrivals; the healthy one
+        // accepted exactly those.
+        assert!(faults(&with, 1).failovers_out > 0, "{with:?}");
+        assert_eq!(faults(&with, 0).failovers_in, faults(&with, 1).failovers_out);
+        assert_eq!(faults(&with, 0).failovers_out, 0);
+        // Without failover the same arrivals shed as local 429s instead.
+        assert_eq!(faults(&without, 1).failovers_out, 0);
+        assert!(without.regions[1].report.counters.throttled() > 0);
+        for r in with.regions.iter().chain(without.regions.iter()) {
+            assert!(r.report.counters.is_conserved(), "{:?}", r.report.counters);
+            assert_eq!(r.report.counters.in_flight, 0);
+        }
+        // The ordering the chaos bench asserts at scale: failover completes
+        // strictly more requests than shedding.
+        assert!(
+            with.completed() > without.completed(),
+            "failover {} vs shed {}",
+            with.completed(),
+            without.completed()
+        );
+    }
+
+    #[test]
+    fn faulted_multi_region_replays_bit_identically() {
+        let platform = Platform::aws_like();
+        let sizer = quick_sizer();
+        let run = || {
+            let plane = ControlPlane::frozen(sizer.clone());
+            run_multi_region_faulted(
+                &platform,
+                &regions(),
+                &plane,
+                &options(),
+                &outage_plan().with_transient(0.05, 0.05, 0.5),
+                RetryKind::Fixed { max_attempts: 3, delay_ms: 150.0 },
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faulted_tracing_does_not_perturb_and_names_failover_receivers() {
+        use sizeless_obs::MemorySink;
+        let platform = Platform::aws_like();
+        let sizer = quick_sizer();
+        let plane = || ControlPlane::frozen(sizer.clone());
+        let (traced, sinks) = run_multi_region_faulted_traced(
+            &platform,
+            &regions(),
+            &plane(),
+            &options(),
+            &outage_plan(),
+            RetryKind::None,
+            |_| MemorySink::new(),
+        );
+        let untraced = run_multi_region_faulted(
+            &platform,
+            &regions(),
+            &plane(),
+            &options(),
+            &outage_plan(),
+            RetryKind::None,
+        );
+        assert_eq!(traced, untraced, "tracing must not perturb the faulted run");
+        // Failover events land in the receiving region's trace and match
+        // its summary.
+        let failovers = sinks[0]
+            .records()
+            .iter()
+            .filter(|r| r.event.kind() == "region_failover")
+            .count();
+        assert_eq!(failovers, traced.regions[0].report.faults.unwrap().failovers_in);
+        assert!(failovers > 0);
+        // The dark region logged its hosts going down and coming back.
+        let kinds: Vec<&str> = sinks[1].records().iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"host_down"));
+        assert!(kinds.contains(&"host_up"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same function set")]
+    fn outage_failover_rejects_mismatched_function_sets() {
+        let platform = Platform::aws_like();
+        let plane = ControlPlane::frozen(quick_sizer());
+        let mut specs = regions();
+        specs[1].functions.pop();
+        let _ = run_multi_region_faulted(
+            &platform,
+            &specs,
+            &plane,
+            &options(),
+            &outage_plan(),
+            RetryKind::None,
+        );
     }
 }

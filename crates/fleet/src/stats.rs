@@ -26,6 +26,22 @@ pub struct RightsizingReport {
     pub final_sizes_mb: Vec<u32>,
 }
 
+/// The fault-injection section of a fleet report: what the installed
+/// [`FaultPlan`](crate::faults::FaultPlan) actually did to this run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Host crashes executed (scheduled, stochastic, and outage-induced).
+    pub host_crashes: usize,
+    /// In-flight attempts lost to host crashes.
+    pub failed_in_flight: usize,
+    /// Warm idle instances lost to host crashes.
+    pub lost_warm: usize,
+    /// Arrivals this region accepted as failovers from other regions.
+    pub failovers_in: usize,
+    /// Arrivals this region diverted to other regions during its outages.
+    pub failovers_out: usize,
+}
+
 /// Everything a fleet run reports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -51,6 +67,8 @@ pub struct FleetReport {
     pub horizon_ms: f64,
     /// Run counters of the discrete-event engine that drove this fleet.
     pub sim: SimRunStats,
+    /// Present when the fleet ran with an installed fault plan.
+    pub faults: Option<FaultSummary>,
     /// Present when the fleet ran with an embedded sizing service.
     pub rightsizing: Option<RightsizingReport>,
 }
@@ -93,6 +111,7 @@ mod tests {
                 handlers_scheduled: 21,
                 peak_queue_depth: 4,
             },
+            faults: None,
             rightsizing: None,
         };
         let json = serde_json::to_string(&report).unwrap();
@@ -131,6 +150,7 @@ mod tests {
                 recommendations: 3,
                 drift_checks: 2,
                 drift_detections: 1,
+                drift_suppressed_by_fault: 0,
                 entered_measuring: 3,
                 entered_referencing: 2,
                 entered_watching: 2,

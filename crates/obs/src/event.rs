@@ -74,6 +74,43 @@ impl ResizeCause {
     }
 }
 
+/// Why an invocation attempt failed (mirrors the fleet's `FailureCause`,
+/// kept primitive so obs stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The instance crashed during initialization (cold-start failure).
+    Init,
+    /// The instance crashed mid-execution.
+    Exec,
+    /// The invocation exceeded its per-invocation timeout.
+    Timeout,
+    /// The host serving the invocation crashed.
+    HostCrash,
+}
+
+impl FaultKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Init => "init",
+            FaultKind::Exec => "exec",
+            FaultKind::Timeout => "timeout",
+            FaultKind::HostCrash => "host_crash",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "init" => Some(FaultKind::Init),
+            "exec" => Some(FaultKind::Exec),
+            "timeout" => Some(FaultKind::Timeout),
+            "host_crash" => Some(FaultKind::HostCrash),
+            _ => None,
+        }
+    }
+}
+
 /// A function's position in the sizing loop (mirrors the service's
 /// `FnPhase`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +234,59 @@ pub enum TraceEvent {
         /// Region that runs the next event.
         to_region: u32,
     },
+    /// A host crashed: all warm generations lost, in-flight invocations
+    /// failed, capacity withdrawn until the host rejoins.
+    HostDown {
+        /// Host that crashed.
+        host: u32,
+        /// In-flight invocations failed by the crash.
+        failed_in_flight: u32,
+        /// Idle warm instances destroyed by the crash.
+        lost_warm: u32,
+    },
+    /// A crashed host rejoined the fleet with cold pools.
+    HostUp {
+        /// Host that rejoined.
+        host: u32,
+        /// How long the host was down, ms.
+        down_ms: f64,
+    },
+    /// An invocation attempt failed (injected fault, crash, or timeout).
+    InvocationFailed {
+        /// Function id.
+        fn_id: u32,
+        /// Host the attempt ran on.
+        host: u32,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// What killed the attempt.
+        cause: FaultKind,
+    },
+    /// A failed invocation was re-enqueued by the retry policy.
+    RetryScheduled {
+        /// Function id.
+        fn_id: u32,
+        /// 1-based attempt number about to run.
+        attempt: u32,
+        /// Backoff delay before the retry fires, ms.
+        delay_ms: f64,
+    },
+    /// A multi-region driver rerouted an arrival away from a region in
+    /// outage to a healthy one.
+    RegionFailover {
+        /// Function id of the rerouted arrival.
+        fn_id: u32,
+        /// Region that was in outage.
+        from_region: u32,
+        /// Healthy region that absorbed the arrival.
+        to_region: u32,
+    },
+    /// A drift detection was suppressed because it coincided with an
+    /// active fault on the function's hosts.
+    DriftSuppressed {
+        /// Function id.
+        fn_id: u32,
+    },
 }
 
 impl TraceEvent {
@@ -214,12 +304,18 @@ impl TraceEvent {
             TraceEvent::ShadowRoute { .. } => "shadow_route",
             TraceEvent::ArtifactUpdate { .. } => "artifact_update",
             TraceEvent::RegionHandoff { .. } => "region_handoff",
+            TraceEvent::HostDown { .. } => "host_down",
+            TraceEvent::HostUp { .. } => "host_up",
+            TraceEvent::InvocationFailed { .. } => "invocation_failed",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::RegionFailover { .. } => "region_failover",
+            TraceEvent::DriftSuppressed { .. } => "drift_suppressed",
         }
     }
 
     /// All event type names, in declaration order — the closed schema CI
     /// validates exported JSONL against.
-    pub const KINDS: [&'static str; 10] = [
+    pub const KINDS: [&'static str; 16] = [
         "dispatch",
         "cold_start",
         "eviction",
@@ -230,6 +326,12 @@ impl TraceEvent {
         "shadow_route",
         "artifact_update",
         "region_handoff",
+        "host_down",
+        "host_up",
+        "invocation_failed",
+        "retry_scheduled",
+        "region_failover",
+        "drift_suppressed",
     ];
 }
 
@@ -300,6 +402,34 @@ impl TraceRecord {
             TraceEvent::RegionHandoff { from_region, to_region } => {
                 let _ = write!(out, ",\"from_region\":{from_region},\"to_region\":{to_region}");
             }
+            TraceEvent::HostDown { host, failed_in_flight, lost_warm } => {
+                let _ = write!(
+                    out,
+                    ",\"host\":{host},\"failed_in_flight\":{failed_in_flight},\"lost_warm\":{lost_warm}"
+                );
+            }
+            TraceEvent::HostUp { host, down_ms } => {
+                let _ = write!(out, ",\"host\":{host},\"down_ms\":{down_ms}");
+            }
+            TraceEvent::InvocationFailed { fn_id, host, attempt, cause } => {
+                let _ = write!(
+                    out,
+                    ",\"fn_id\":{fn_id},\"host\":{host},\"attempt\":{attempt},\"cause\":\"{}\"",
+                    cause.name()
+                );
+            }
+            TraceEvent::RetryScheduled { fn_id, attempt, delay_ms } => {
+                let _ = write!(out, ",\"fn_id\":{fn_id},\"attempt\":{attempt},\"delay_ms\":{delay_ms}");
+            }
+            TraceEvent::RegionFailover { fn_id, from_region, to_region } => {
+                let _ = write!(
+                    out,
+                    ",\"fn_id\":{fn_id},\"from_region\":{from_region},\"to_region\":{to_region}"
+                );
+            }
+            TraceEvent::DriftSuppressed { fn_id } => {
+                let _ = write!(out, ",\"fn_id\":{fn_id}");
+            }
         }
         out.push('}');
     }
@@ -322,6 +452,12 @@ mod tests {
             TraceEvent::ShadowRoute { fn_id: 2, base_mb: 256 },
             TraceEvent::ArtifactUpdate { updates: 7 },
             TraceEvent::RegionHandoff { from_region: 0, to_region: 1 },
+            TraceEvent::HostDown { host: 3, failed_in_flight: 2, lost_warm: 5 },
+            TraceEvent::HostUp { host: 3, down_ms: 5_000.0 },
+            TraceEvent::InvocationFailed { fn_id: 1, host: 3, attempt: 1, cause: FaultKind::Exec },
+            TraceEvent::RetryScheduled { fn_id: 1, attempt: 2, delay_ms: 250.0 },
+            TraceEvent::RegionFailover { fn_id: 4, from_region: 0, to_region: 1 },
+            TraceEvent::DriftSuppressed { fn_id: 1 },
         ];
         let mut kinds: Vec<&str> = samples.iter().map(TraceEvent::kind).collect();
         kinds.sort_unstable();
@@ -346,9 +482,13 @@ mod tests {
         ] {
             assert_eq!(LoopPhase::parse(p.name()), Some(p));
         }
+        for f in [FaultKind::Init, FaultKind::Exec, FaultKind::Timeout, FaultKind::HostCrash] {
+            assert_eq!(FaultKind::parse(f.name()), Some(f));
+        }
         assert_eq!(ThrottleCause::parse("nope"), None);
         assert_eq!(ResizeCause::parse(""), None);
         assert_eq!(LoopPhase::parse("Watching"), None, "names are lowercase");
+        assert_eq!(FaultKind::parse("HostCrash"), None, "names are snake_case");
     }
 
     #[test]
@@ -363,6 +503,23 @@ mod tests {
         assert_eq!(
             line,
             "{\"at_ms\":12.5,\"seq\":3,\"type\":\"dispatch\",\"fn_id\":1,\"host\":0,\"memory_mb\":256,\"cold\":false,\"shadow\":true}"
+        );
+
+        let rec = TraceRecord {
+            at_ms: 20.0,
+            seq: 4,
+            event: TraceEvent::InvocationFailed {
+                fn_id: 2,
+                host: 1,
+                attempt: 1,
+                cause: FaultKind::HostCrash,
+            },
+        };
+        let mut line = String::new();
+        rec.write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"at_ms\":20,\"seq\":4,\"type\":\"invocation_failed\",\"fn_id\":2,\"host\":1,\"attempt\":1,\"cause\":\"host_crash\"}"
         );
     }
 }

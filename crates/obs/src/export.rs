@@ -11,7 +11,7 @@
 
 use std::fmt::Write as _;
 
-use crate::event::{LoopPhase, ResizeCause, ThrottleCause, TraceEvent, TraceRecord};
+use crate::event::{FaultKind, LoopPhase, ResizeCause, ThrottleCause, TraceEvent, TraceRecord};
 
 /// Serializes records as JSONL: one event object per line, trailing newline
 /// after every line.
@@ -47,8 +47,14 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
             | TraceEvent::Resize { fn_id, .. }
             | TraceEvent::DriftDetected { fn_id }
             | TraceEvent::PhaseTransition { fn_id, .. }
-            | TraceEvent::ShadowRoute { fn_id, .. } => fn_id,
-            TraceEvent::Eviction { host, .. } => host,
+            | TraceEvent::ShadowRoute { fn_id, .. }
+            | TraceEvent::InvocationFailed { fn_id, .. }
+            | TraceEvent::RetryScheduled { fn_id, .. }
+            | TraceEvent::RegionFailover { fn_id, .. }
+            | TraceEvent::DriftSuppressed { fn_id } => fn_id,
+            TraceEvent::Eviction { host, .. }
+            | TraceEvent::HostDown { host, .. }
+            | TraceEvent::HostUp { host, .. } => host,
             TraceEvent::ArtifactUpdate { .. } => 0,
             TraceEvent::RegionHandoff { to_region, .. } => to_region,
         };
@@ -109,6 +115,34 @@ fn write_args(out: &mut String, rec: &TraceRecord) {
         }
         TraceEvent::RegionHandoff { from_region, to_region } => {
             let _ = write!(out, ",\"from_region\":{from_region},\"to_region\":{to_region}");
+        }
+        TraceEvent::HostDown { host, failed_in_flight, lost_warm } => {
+            let _ = write!(
+                out,
+                ",\"host\":{host},\"failed_in_flight\":{failed_in_flight},\"lost_warm\":{lost_warm}"
+            );
+        }
+        TraceEvent::HostUp { host, down_ms } => {
+            let _ = write!(out, ",\"host\":{host},\"down_ms\":{down_ms}");
+        }
+        TraceEvent::InvocationFailed { fn_id, host, attempt, cause } => {
+            let _ = write!(
+                out,
+                ",\"fn_id\":{fn_id},\"host\":{host},\"attempt\":{attempt},\"cause\":\"{}\"",
+                cause.name()
+            );
+        }
+        TraceEvent::RetryScheduled { fn_id, attempt, delay_ms } => {
+            let _ = write!(out, ",\"fn_id\":{fn_id},\"attempt\":{attempt},\"delay_ms\":{delay_ms}");
+        }
+        TraceEvent::RegionFailover { fn_id, from_region, to_region } => {
+            let _ = write!(
+                out,
+                ",\"fn_id\":{fn_id},\"from_region\":{from_region},\"to_region\":{to_region}"
+            );
+        }
+        TraceEvent::DriftSuppressed { fn_id } => {
+            let _ = write!(out, ",\"fn_id\":{fn_id}");
         }
     }
     out.push('}');
@@ -246,6 +280,30 @@ fn record_from_fields(fields: &[Field<'_>], lineno: usize) -> Result<TraceRecord
             from_region: id("from_region")?,
             to_region: id("to_region")?,
         },
+        "host_down" => TraceEvent::HostDown {
+            host: id("host")?,
+            failed_in_flight: id("failed_in_flight")?,
+            lost_warm: id("lost_warm")?,
+        },
+        "host_up" => TraceEvent::HostUp { host: id("host")?, down_ms: num("down_ms")? },
+        "invocation_failed" => TraceEvent::InvocationFailed {
+            fn_id: id("fn_id")?,
+            host: id("host")?,
+            attempt: id("attempt")?,
+            cause: FaultKind::parse(string("cause")?)
+                .ok_or_else(|| err("unknown fault kind".to_string()))?,
+        },
+        "retry_scheduled" => TraceEvent::RetryScheduled {
+            fn_id: id("fn_id")?,
+            attempt: id("attempt")?,
+            delay_ms: num("delay_ms")?,
+        },
+        "region_failover" => TraceEvent::RegionFailover {
+            fn_id: id("fn_id")?,
+            from_region: id("from_region")?,
+            to_region: id("to_region")?,
+        },
+        "drift_suppressed" => TraceEvent::DriftSuppressed { fn_id: id("fn_id")? },
         other => return Err(err(format!("unknown event type `{other}`"))),
     };
     Ok(TraceRecord { at_ms, seq, event })
@@ -271,6 +329,12 @@ mod tests {
             TraceEvent::ShadowRoute { fn_id: 2, base_mb: 256 },
             TraceEvent::ArtifactUpdate { updates: 3 },
             TraceEvent::RegionHandoff { from_region: 0, to_region: 1 },
+            TraceEvent::HostDown { host: 2, failed_in_flight: 1, lost_warm: 4 },
+            TraceEvent::HostUp { host: 2, down_ms: 7_500.25 },
+            TraceEvent::InvocationFailed { fn_id: 3, host: 2, attempt: 2, cause: FaultKind::Init },
+            TraceEvent::RetryScheduled { fn_id: 3, attempt: 3, delay_ms: 400.5 },
+            TraceEvent::RegionFailover { fn_id: 5, from_region: 1, to_region: 0 },
+            TraceEvent::DriftSuppressed { fn_id: 3 },
         ];
         events
             .into_iter()

@@ -30,6 +30,6 @@ pub mod export;
 pub mod metrics;
 pub mod sink;
 
-pub use event::{LoopPhase, ResizeCause, ThrottleCause, TraceEvent, TraceRecord};
+pub use event::{FaultKind, LoopPhase, ResizeCause, ThrottleCause, TraceEvent, TraceRecord};
 pub use metrics::{CounterId, HistogramId, LogHistogram, MetricsRegistry};
 pub use sink::{MemorySink, NullSink, RingBufferSink, TraceSink};

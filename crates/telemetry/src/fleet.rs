@@ -30,6 +30,21 @@ pub struct FleetCounters {
     pub throttled_account: usize,
     /// Requests rejected because no host could place an instance.
     pub throttled_capacity: usize,
+    /// Requests that terminally failed: every attempt the retry policy was
+    /// willing to pay ended in an injected fault, crash, or timeout.
+    pub failed: usize,
+    /// Individual execution attempts that failed (each retried attempt that
+    /// fails counts again; terminally failed requests contribute all of
+    /// their attempts).
+    pub failed_attempts: usize,
+    /// Retry attempts the resilience policy re-enqueued after a failure.
+    pub retries_scheduled: usize,
+    /// Terminal failures that had consumed at least one retry — requests
+    /// the policy fought for and still lost.
+    pub failed_after_retries: usize,
+    /// Sum over completions of the attempt number that succeeded (1 for a
+    /// first-try completion) — numerator of mean attempts per completion.
+    pub sum_attempts_completed: usize,
     /// Completed-or-running requests that paid a cold start.
     pub cold_starts: usize,
     /// Sum of end-to-end latencies (init + execution) over completions, ms.
@@ -55,9 +70,10 @@ impl FleetCounters {
     }
 
     /// The conservation invariant every fleet state must satisfy:
-    /// `submitted == completed + in_flight + throttled`.
+    /// `submitted == completed + failed + in_flight + throttled`.
+    /// (A request awaiting a retry backoff is still in flight.)
     pub fn is_conserved(&self) -> bool {
-        self.submitted == self.completed + self.in_flight + self.throttled()
+        self.submitted == self.completed + self.failed + self.in_flight + self.throttled()
     }
 }
 
@@ -100,6 +116,13 @@ pub struct FleetMetrics {
     /// *dominates* minimizes this — it pays neither repeated cold-start
     /// initialization (busy) nor long idle tails (wasted).
     pub resource_mb_ms_per_completion: f64,
+    /// Completions over non-throttled arrivals, in `[0, 1]` — the share of
+    /// admitted requests the fleet actually served under faults.
+    pub availability: f64,
+    /// Terminal failures per submitted request.
+    pub failure_rate: f64,
+    /// Mean execution attempts a completion took (1.0 when nothing fails).
+    pub mean_attempts_per_completion: f64,
 }
 
 impl FleetMetrics {
@@ -118,6 +141,12 @@ impl FleetMetrics {
             mean_cost_usd: ratio(c.sum_cost_usd, c.completed as f64),
             resource_mb_ms_per_completion: ratio(
                 c.busy_mb_ms + c.wasted_mb_ms,
+                c.completed as f64,
+            ),
+            availability: ratio(c.completed as f64, (c.submitted - c.throttled()) as f64),
+            failure_rate: ratio(c.failed as f64, c.submitted as f64),
+            mean_attempts_per_completion: ratio(
+                c.sum_attempts_completed as f64,
                 c.completed as f64,
             ),
         }
@@ -232,6 +261,11 @@ mod tests {
             throttled_function: 6,
             throttled_account: 4,
             throttled_capacity: 5,
+            failed: 0,
+            failed_attempts: 0,
+            retries_scheduled: 0,
+            failed_after_retries: 0,
+            sum_attempts_completed: 80,
             cold_starts: 17,
             sum_latency_ms: 8_000.0,
             sum_cost_usd: 0.004,
@@ -252,6 +286,13 @@ mod tests {
             ..c
         };
         assert!(!broken.is_conserved());
+        // Failures sit on the conservation ledger alongside completions.
+        let faulted = FleetCounters {
+            submitted: 103,
+            failed: 3,
+            ..c
+        };
+        assert!(faulted.is_conserved());
     }
 
     #[test]
@@ -264,6 +305,29 @@ mod tests {
         assert!((m.mean_latency_ms - 100.0).abs() < 1e-12);
         assert!((m.mean_cost_usd - 5e-5).abs() < 1e-12);
         assert!((m.resource_mb_ms_per_completion - 625.0).abs() < 1e-12);
+        // 100 submitted, 15 throttled → 85 admitted, 80 served.
+        assert!((m.availability - 80.0 / 85.0).abs() < 1e-12);
+        assert_eq!(m.failure_rate, 0.0);
+        assert!((m.mean_attempts_per_completion - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_and_retry_rates() {
+        let c = FleetCounters {
+            submitted: 103,
+            failed: 3,
+            failed_attempts: 11,
+            retries_scheduled: 10,
+            failed_after_retries: 2,
+            sum_attempts_completed: 88,
+            ..counters()
+        };
+        assert!(c.is_conserved());
+        let m = FleetMetrics::from_counters(&c);
+        // 103 submitted, 15 throttled → 88 admitted, 80 served.
+        assert!((m.availability - 80.0 / 88.0).abs() < 1e-12);
+        assert!((m.failure_rate - 3.0 / 103.0).abs() < 1e-12);
+        assert!((m.mean_attempts_per_completion - 1.1).abs() < 1e-12);
     }
 
     #[test]

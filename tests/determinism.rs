@@ -13,8 +13,9 @@ use sizeless::core::service::{
 use sizeless::core::trainer::{TrainedSizer, Trainer, TrainerConfig};
 use sizeless::engine::RngStream;
 use sizeless::fleet::{
-    run_fleet, run_multi_region, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig,
-    FleetFunction, KeepAliveKind, MultiRegionOptions, RegionSpec, SchedulerKind, WorkloadShift,
+    run_fleet, run_multi_region, run_rightsized_fleet, FaultPlan, Fleet, FleetArrival,
+    FleetConfig, FleetFunction, KeepAliveKind, MultiRegionOptions, RegionSpec, RetryKind,
+    SchedulerKind, WorkloadShift,
 };
 use sizeless::neural::NetworkConfig;
 use sizeless::platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
@@ -307,6 +308,99 @@ fn closed_loop_trace_is_byte_identical_across_thread_counts() {
     let records = export::parse_jsonl(&serial).expect("trace is schema-valid JSONL");
     assert_eq!(records.len(), serial.lines().count());
     assert_eq!(export::jsonl(&records), serial);
+}
+
+/// Faults inherit the replay contract: a closed-loop fleet under a plan
+/// mixing a scheduled crash, a stochastic crash process, transient
+/// failures, recovery slowdowns, and exponential-backoff retries is
+/// **bit-identical** across dataset-measurement thread counts (pinned at
+/// threads ∈ {1, 4}) and across repeat runs — report *and* trace bytes.
+/// Crash times, retry jitter, and failure fates all flow through named
+/// `RngStream`s forked off the fault seed, so nothing leaks between the
+/// fault machinery and the arrival/scheduler/monitor streams.
+#[test]
+fn faulted_closed_loop_is_bit_identical_across_thread_counts() {
+    use sizeless::obs::MemorySink;
+    let platform = Platform::aws_like();
+    let functions = vec![
+        FleetFunction::new(
+            FunctionConfig::new(
+                ResourceProfile::builder("fault-io")
+                    .stage(Stage::file_io("io", 384.0, 96.0))
+                    .build(),
+                MemorySize::MB_256,
+            ),
+            FleetArrival::Steady(ArrivalProcess::poisson(18.0)),
+        ),
+        FleetFunction::new(
+            FunctionConfig::new(
+                ResourceProfile::builder("fault-cpu")
+                    .stage(Stage::cpu("work", 70.0))
+                    .init_cpu_ms(120.0)
+                    .build(),
+                MemorySize::MB_256,
+            ),
+            FleetArrival::Bursty(BurstyArrival::new(3.0, 30.0, 5_000.0, 1_500.0)),
+        ),
+    ];
+    let config = FleetConfig::new(3, 4096.0, 20_000.0, 37);
+    let plan = FaultPlan::none()
+        .with_transient(0.05, 0.1, 0.5)
+        .with_crash(1, 6_000.0, 1_500.0)
+        .with_crash_process(15_000.0, 800.0)
+        .with_recovery(3_000.0, 2.5)
+        .with_seed(37);
+    let run = |threads: usize| {
+        let default_ttl = platform.cold_start_model().idle_ttl_ms;
+        let fleet = Fleet::new(
+            &platform,
+            &config,
+            &functions,
+            SchedulerKind::WarmFirst.build(),
+            KeepAliveKind::Adaptive.build(functions.len(), default_ttl),
+        )
+        .with_sizing(SizingService::new(
+            sizer_with_threads(&platform, threads),
+            ServiceConfig {
+                window: 50,
+                ..ServiceConfig::default()
+            },
+        ))
+        .with_faults(&plan)
+        .with_retries(RetryKind::ExponentialBackoff {
+            base_ms: 200.0,
+            factor: 2.0,
+            cap_ms: 5_000.0,
+            max_attempts: 4,
+            jitter_frac: 0.2,
+            budget_per_fn: None,
+        })
+        .with_trace(MemorySink::new());
+        let (report, sink) = fleet.run_traced();
+        (report, sink.to_jsonl())
+    };
+
+    let (serial, serial_trace) = run(1);
+    let (threaded, threaded_trace) = run(4);
+    assert_eq!(
+        serial, threaded,
+        "faulted closed-loop fleet diverged across thread counts"
+    );
+    assert_eq!(
+        serial_trace, threaded_trace,
+        "faulted trace bytes diverged across thread counts"
+    );
+    let (repeat, repeat_trace) = run(1);
+    assert_eq!(serial, repeat, "faulted run diverged across repeats");
+    assert_eq!(serial_trace, repeat_trace, "faulted trace diverged across repeats");
+
+    // The run must actually exercise the fault machinery.
+    let faults = serial.faults.expect("fault plan reports a summary");
+    assert!(faults.host_crashes > 0, "no crash ever fired");
+    assert!(serial.counters.failed_attempts > 0, "no attempt ever failed");
+    assert!(serial.counters.retries_scheduled > 0, "no retry ever scheduled");
+    assert!(serial.counters.completed > 0, "no request ever completed");
+    assert!(serial.counters.is_conserved());
 }
 
 /// A small trained artifact whose offline dataset measurement fans out over

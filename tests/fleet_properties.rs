@@ -14,6 +14,7 @@ use proptest::prelude::*;
 use sizeless::fleet::{
     run_fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind, SchedulerKind,
 };
+use sizeless::fleet::{run_faulted_fleet, FaultPlan, RetryKind};
 use sizeless::platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
 use sizeless::workload::{ArrivalProcess, BurstyArrival};
 
@@ -85,6 +86,60 @@ fn config_strategy() -> impl Strategy<Value = FleetConfig> {
 fn policy_strategy() -> impl Strategy<Value = (SchedulerKind, KeepAliveKind)> {
     (0usize..4, 0usize..3)
         .prop_map(|(s, k)| (SchedulerKind::ALL[s], KeepAliveKind::ALL[k]))
+}
+
+/// Strategy: fault plans mixing transient failures, an optional scheduled
+/// crash, an optional stochastic crash process, and recovery slowdowns.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0.0f64..0.3, 0.0f64..0.3, 0.0f64..1.0), // transient: init p, exec p, duration frac
+        (0usize..2, 0usize..5, 500.0f64..4_000.0, 200.0f64..2_000.0), // scheduled crash (gated)
+        (0usize..2, 3_000.0f64..30_000.0, 300.0f64..1_500.0), // crash process (gated)
+        (0usize..2, 500.0f64..4_000.0, 1.0f64..4.0), // recovery slowdown (gated)
+        0u64..100,                                   // fault seed
+    )
+        .prop_map(|(transient, crash, process, recovery, seed)| {
+            let (init_p, exec_p, frac) = transient;
+            let mut plan = FaultPlan::none()
+                .with_transient(init_p, exec_p, frac)
+                .with_seed(seed);
+            if let (1, host, at, down) = crash {
+                plan = plan.with_crash(host, at, down);
+            }
+            if let (1, mtbf, down) = process {
+                plan = plan.with_crash_process(mtbf, down);
+            }
+            if let (1, ms, slowdown) = recovery {
+                plan = plan.with_recovery(ms, slowdown);
+            }
+            plan
+        })
+}
+
+/// Strategy: one of the retry policies, including budget-capped backoff.
+fn retry_strategy() -> impl Strategy<Value = RetryKind> {
+    (
+        0usize..3,     // policy: none, fixed, exponential
+        2usize..5,     // max attempts
+        50.0f64..1_000.0, // fixed delay / unused
+        0.0f64..=1.0,  // backoff jitter fraction
+        0usize..40,    // retry budget per fn; 0 ⇒ unbudgeted
+    )
+        .prop_map(|(kind, max_attempts, delay_ms, jitter_frac, budget)| match kind {
+            0 => RetryKind::None,
+            1 => RetryKind::Fixed {
+                max_attempts,
+                delay_ms,
+            },
+            _ => RetryKind::ExponentialBackoff {
+                base_ms: 100.0,
+                factor: 2.0,
+                cap_ms: 2_000.0,
+                max_attempts,
+                jitter_frac,
+                budget_per_fn: (budget > 0).then_some(budget),
+            },
+        })
 }
 
 proptest! {
@@ -159,5 +214,58 @@ proptest! {
         let a = run_fleet(&platform, &config, &functions, scheduler, keepalive);
         let b = run_fleet(&platform, &config, &functions, scheduler, keepalive);
         prop_assert_eq!(a, b);
+    }
+
+    /// Conservation extends to faults: with crashes, transient failures,
+    /// and retries in play, every submitted request still ends as exactly
+    /// one of completed, failed, or throttled — with the per-event
+    /// invariant checks (which also tie `in_flight` to the host, zombie,
+    /// and retry ledgers) on for the whole run.
+    #[test]
+    fn faulted_fleet_conserves_requests(
+        functions in functions_strategy(),
+        config in config_strategy(),
+        (scheduler, keepalive) in policy_strategy(),
+        plan in fault_plan_strategy(),
+        retry in retry_strategy(),
+    ) {
+        let platform = Platform::aws_like();
+        let report = run_faulted_fleet(
+            &platform, &config, &functions, scheduler, keepalive, &plan, retry,
+        );
+        prop_assert!(report.counters.is_conserved());
+        prop_assert_eq!(report.counters.in_flight, 0);
+        prop_assert_eq!(
+            report.counters.submitted,
+            report.counters.completed + report.counters.failed + report.counters.throttled()
+        );
+        // Attempt accounting: terminal failures and scheduled retries
+        // partition the failed attempts.
+        prop_assert_eq!(
+            report.counters.failed_attempts,
+            report.counters.failed + report.counters.retries_scheduled
+        );
+        prop_assert!(report.counters.failed_after_retries <= report.counters.failed);
+        prop_assert!((0.0..=1.0).contains(&report.metrics.availability));
+        prop_assert!((0.0..=1.0).contains(&report.metrics.failure_rate));
+        let faults = report.faults.expect("fault plans report a summary");
+        prop_assert!(faults.failed_in_flight <= report.counters.failed_attempts);
+    }
+
+    /// Faulted runs replay bit-identically: same plan + same seeds ⇒ the
+    /// same report, crash for crash and retry for retry.
+    #[test]
+    fn faulted_fleet_runs_replay_exactly(
+        functions in functions_strategy(),
+        config in config_strategy(),
+        (scheduler, keepalive) in policy_strategy(),
+        plan in fault_plan_strategy(),
+        retry in retry_strategy(),
+    ) {
+        let platform = Platform::aws_like();
+        let run = || run_faulted_fleet(
+            &platform, &config, &functions, scheduler, keepalive, &plan, retry,
+        );
+        prop_assert_eq!(run(), run());
     }
 }
