@@ -3,7 +3,7 @@
 //! memory-size optimizer. Together with `platform.rs` these bound the cost
 //! of regenerating the full paper dataset.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_main, Criterion};
 use sizeless_core::features::FeatureSet;
 use sizeless_core::optimizer::{MemoryOptimizer, Tradeoff};
 use sizeless_engine::RngStream;
@@ -89,12 +89,21 @@ fn bench_monitor(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_experiment,
-    bench_feature_extraction,
-    bench_optimizer,
-    bench_stat_tests,
-    bench_monitor
-);
-criterion_main!(benches);
+// The macro-generated harness entry points carry no doc comments.
+#[allow(missing_docs)]
+mod harness {
+    use super::{
+        bench_experiment, bench_feature_extraction, bench_monitor, bench_optimizer,
+        bench_stat_tests,
+    };
+    use criterion::criterion_group;
+    criterion_group!(
+        benches,
+        bench_experiment,
+        bench_feature_extraction,
+        bench_optimizer,
+        bench_stat_tests,
+        bench_monitor
+    );
+}
+criterion_main!(harness::benches);

@@ -20,7 +20,8 @@
 use serde::Serialize;
 use sizeless_bench::{pct, print_table, ExperimentContext};
 use sizeless_fleet::{
-    run_fleet, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind, SchedulerKind,
+    run_fleet_sweep, FleetArrival, FleetConfig, FleetFunction, FleetJob, KeepAliveKind,
+    SchedulerKind,
 };
 use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile, Stage};
 use sizeless_workload::{ArrivalProcess, BurstyArrival};
@@ -114,46 +115,66 @@ fn main() {
     let seeds: Vec<u64> = (0..3).map(|i| ctx.seed.wrapping_add(i)).collect();
     let mb_ms_to_gb_s = 1.0 / (1024.0 * 1000.0);
 
-    let mut rows: Vec<SweepRow> = Vec::new();
+    // Every cell × seed is an independent, self-seeded simulation: fan the
+    // whole grid out across the worker pool, then reduce the index-ordered
+    // reports serially — the seed-average folds run in the exact order of
+    // the old nested loops, so the output is byte-identical at any
+    // `--threads` value.
+    let mut cells: Vec<(bool, &str, SchedulerKind, KeepAliveKind)> = Vec::new();
     for (bursty, workload) in [(false, "poisson"), (true, "bursty")] {
         for sched in SchedulerKind::ALL {
             for ka in KeepAliveKind::ALL {
-                let mut acc = SweepRow {
-                    workload: workload.to_string(),
-                    scheduler: sched.to_string(),
-                    keepalive: ka.to_string(),
-                    seeds: seeds.len(),
-                    cold_start_rate: 0.0,
-                    throttle_rate: 0.0,
-                    utilization: 0.0,
-                    goodput_utilization: 0.0,
-                    wasted_gb_s: 0.0,
-                    resource_gb_s_per_completion: 0.0,
-                    mean_latency_ms: 0.0,
-                    completed: 0.0,
-                    throttled: 0.0,
-                };
-                for &seed in &seeds {
-                    let config = FleetConfig::new(8, 2048.0, duration_ms, seed)
-                        .with_function_limit(12)
-                        .with_account_limit(32);
-                    let report =
-                        run_fleet(&platform, &config, &functions(bursty), sched, ka);
-                    let n = seeds.len() as f64;
-                    acc.cold_start_rate += report.metrics.cold_start_rate / n;
-                    acc.throttle_rate += report.metrics.throttle_rate / n;
-                    acc.utilization += report.metrics.utilization / n;
-                    acc.goodput_utilization += report.metrics.goodput_utilization / n;
-                    acc.wasted_gb_s += report.metrics.wasted_mb_ms * mb_ms_to_gb_s / n;
-                    acc.resource_gb_s_per_completion +=
-                        report.metrics.resource_mb_ms_per_completion * mb_ms_to_gb_s / n;
-                    acc.mean_latency_ms += report.metrics.mean_latency_ms / n;
-                    acc.completed += report.counters.completed as f64 / n;
-                    acc.throttled += report.counters.throttled() as f64 / n;
-                }
-                rows.push(acc);
+                cells.push((bursty, workload, sched, ka));
             }
         }
+    }
+    let jobs: Vec<FleetJob> = cells
+        .iter()
+        .flat_map(|&(bursty, _, sched, ka)| {
+            seeds.iter().map(move |&seed| FleetJob {
+                config: FleetConfig::new(8, 2048.0, duration_ms, seed)
+                    .with_function_limit(12)
+                    .with_account_limit(32),
+                functions: functions(bursty),
+                scheduler: sched,
+                keepalive: ka,
+            })
+        })
+        .collect();
+    let reports = run_fleet_sweep(&platform, &jobs, ctx.thread_count());
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for (c, &(_, workload, sched, ka)) in cells.iter().enumerate() {
+        let mut acc = SweepRow {
+            workload: workload.to_string(),
+            scheduler: sched.to_string(),
+            keepalive: ka.to_string(),
+            seeds: seeds.len(),
+            cold_start_rate: 0.0,
+            throttle_rate: 0.0,
+            utilization: 0.0,
+            goodput_utilization: 0.0,
+            wasted_gb_s: 0.0,
+            resource_gb_s_per_completion: 0.0,
+            mean_latency_ms: 0.0,
+            completed: 0.0,
+            throttled: 0.0,
+        };
+        for s in 0..seeds.len() {
+            let report = &reports[c * seeds.len() + s];
+            let n = seeds.len() as f64;
+            acc.cold_start_rate += report.metrics.cold_start_rate / n;
+            acc.throttle_rate += report.metrics.throttle_rate / n;
+            acc.utilization += report.metrics.utilization / n;
+            acc.goodput_utilization += report.metrics.goodput_utilization / n;
+            acc.wasted_gb_s += report.metrics.wasted_mb_ms * mb_ms_to_gb_s / n;
+            acc.resource_gb_s_per_completion +=
+                report.metrics.resource_mb_ms_per_completion * mb_ms_to_gb_s / n;
+            acc.mean_latency_ms += report.metrics.mean_latency_ms / n;
+            acc.completed += report.counters.completed as f64 / n;
+            acc.throttled += report.counters.throttled() as f64 / n;
+        }
+        rows.push(acc);
     }
 
     let table: Vec<Vec<String>> = rows

@@ -324,7 +324,7 @@ fn main() {
         .with_sizing(SizingService::new(sizer.clone(), service_cfg))
         .with_metrics()
         .with_trace(MemorySink::new());
-        let mut sim: Simulation<_> = Simulation::new();
+        let mut sim = Simulation::new();
         fleet.prime(&mut sim);
         sim.run_to_completion(&mut fleet);
         let snapshot = fleet

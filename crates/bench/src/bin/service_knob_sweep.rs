@@ -25,8 +25,8 @@ use sizeless_core::drift::DriftConfig;
 use sizeless_core::service::{ControlPlane, RemeasureKind, ServiceConfig, ServiceStats};
 use sizeless_core::trainer::TrainerConfig;
 use sizeless_fleet::{
-    run_multi_region, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind, MultiRegionOptions,
-    RegionSpec, SchedulerKind, WorkloadShift,
+    run_multi_region, sweep, FleetArrival, FleetConfig, FleetFunction, KeepAliveKind,
+    MultiRegionOptions, RegionSpec, SchedulerKind, WorkloadShift,
 };
 use sizeless_platform::{
     FunctionConfig, MemorySize, Platform, ResourceProfile, ServiceCall, ServiceKind, Stage,
@@ -125,62 +125,70 @@ fn main() {
     let alphas = [0.01f64, 0.05];
     let magnitudes = [DeltaMagnitude::Small, DeltaMagnitude::Medium];
 
-    let mut rows: Vec<SweepRow> = Vec::new();
+    // Each knob combination is an independent closed-loop simulation with
+    // its own cloned sizer and self-seeded fleet: fan the grid out across
+    // the worker pool. Results come back in grid order, byte-identical at
+    // any `--threads` value.
+    let mut grid: Vec<(usize, f64, DeltaMagnitude)> = Vec::new();
     for &window in &windows {
         for &alpha in &alphas {
             for &min_magnitude in &magnitudes {
-                let region = RegionSpec {
-                    name: "sweep".into(),
-                    config: FleetConfig::new(4, 8192.0, duration_ms, ctx.seed.wrapping_add(17)),
-                    functions: functions(),
-                    shifts: vec![WorkloadShift {
-                        at_ms: duration_ms * 0.5,
-                        fn_id: 2,
-                        profile: mutator_after(),
-                    }],
-                };
-                let plane = ControlPlane::frozen(sizer.clone());
-                let report = run_multi_region(
-                    &platform,
-                    &[region],
-                    &plane,
-                    &MultiRegionOptions {
-                        scheduler: SchedulerKind::WarmFirst,
-                        keepalive: KeepAliveKind::Adaptive,
-                        service: ServiceConfig {
-                            window,
-                            drift: DriftConfig {
-                                alpha,
-                                min_magnitude,
-                            },
-                        },
-                        remeasure: RemeasureKind::FullRevert,
-                    },
-                );
-                let fleet = &report.regions[0].report;
-                assert!(fleet.counters.is_conserved(), "conservation violated");
-                let rs = fleet.rightsizing.as_ref().expect("closed loop");
-                let rerecs = rs.service.rerecommend_same + rs.service.rerecommend_changed;
-                rows.push(SweepRow {
-                    window,
-                    alpha,
-                    min_magnitude: format!("{min_magnitude:?}"),
-                    false_revert_rate: (rerecs > 0)
-                        .then(|| rs.service.rerecommend_same as f64 / rerecs as f64),
-                    time_to_first_win_ms: rs.counters.first_resize_at_ms,
-                    drift_checks: rs.service.drift_checks,
-                    drift_detections: rs.service.drift_detections,
-                    gb_s_per_req: if fleet.counters.completed > 0 {
-                        fleet.counters.exec_mb_ms * MB_MS_TO_GB_S
-                            / fleet.counters.completed as f64
-                    } else {
-                        0.0
-                    },
-                    service: rs.service,
-                });
+                grid.push((window, alpha, min_magnitude));
             }
         }
     }
+    let seed = ctx.seed;
+    let rows: Vec<SweepRow> = sweep(ctx.thread_count(), grid.len(), |i| {
+        let (window, alpha, min_magnitude) = grid[i];
+        let region = RegionSpec {
+            name: "sweep".into(),
+            config: FleetConfig::new(4, 8192.0, duration_ms, seed.wrapping_add(17)),
+            functions: functions(),
+            shifts: vec![WorkloadShift {
+                at_ms: duration_ms * 0.5,
+                fn_id: 2,
+                profile: mutator_after(),
+            }],
+        };
+        let plane = ControlPlane::frozen(sizer.clone());
+        let report = run_multi_region(
+            &platform,
+            &[region],
+            &plane,
+            &MultiRegionOptions {
+                scheduler: SchedulerKind::WarmFirst,
+                keepalive: KeepAliveKind::Adaptive,
+                service: ServiceConfig {
+                    window,
+                    drift: DriftConfig {
+                        alpha,
+                        min_magnitude,
+                    },
+                },
+                remeasure: RemeasureKind::FullRevert,
+            },
+        );
+        let fleet = &report.regions[0].report;
+        assert!(fleet.counters.is_conserved(), "conservation violated");
+        let rs = fleet.rightsizing.as_ref().expect("closed loop");
+        let rerecs = rs.service.rerecommend_same + rs.service.rerecommend_changed;
+        SweepRow {
+            window,
+            alpha,
+            min_magnitude: format!("{min_magnitude:?}"),
+            false_revert_rate: (rerecs > 0)
+                .then(|| rs.service.rerecommend_same as f64 / rerecs as f64),
+            time_to_first_win_ms: rs.counters.first_resize_at_ms,
+            drift_checks: rs.service.drift_checks,
+            drift_detections: rs.service.drift_detections,
+            gb_s_per_req: if fleet.counters.completed > 0 {
+                fleet.counters.exec_mb_ms * MB_MS_TO_GB_S / fleet.counters.completed as f64
+            } else {
+                0.0
+            },
+            service: rs.service,
+        }
+    });
 
     let table: Vec<Vec<String>> = rows
         .iter()

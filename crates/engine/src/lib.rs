@@ -45,7 +45,7 @@ pub mod prelude {
 }
 
 pub use dist::Distribution;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 pub use rng::{fnv1a, RngStream};
-pub use sim::{SimStats, Simulation};
+pub use sim::{Callback, SimEvent, SimStats, Simulation};
 pub use time::{SimDuration, SimTime};

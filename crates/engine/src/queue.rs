@@ -4,6 +4,23 @@
 //! break in insertion order, which keeps simulations deterministic even when
 //! many events share a timestamp (e.g. simultaneous arrivals across
 //! functions).
+//!
+//! Two storage representations sit behind the one API, selected by a
+//! constructor knob ([`QueueKind`]):
+//!
+//! * **Heap** (the default) — a plain binary heap. Best for tiny or
+//!   irregular schedules.
+//! * **Calendar** — a ladder of fixed-width time buckets over the near
+//!   future, with far-future events parked in an overflow heap that drains
+//!   into the ladder as the cursor advances. Scheduling is O(1) amortized
+//!   and popping scans forward from the last pop, which beats the heap's
+//!   log-factor (and its cache misses) on the dense, mostly-monotone
+//!   schedules a fleet run produces.
+//!
+//! Both representations pop in exactly the same `(time, seq)` order — the
+//! equivalence is property-tested in `tests/queue_equivalence.rs` — so the
+//! knob is purely a performance choice and can never change a simulation
+//! result.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -42,6 +59,224 @@ impl<T> PartialOrd for Scheduled<T> {
     }
 }
 
+/// Which storage representation an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueKind {
+    /// Binary-heap storage: `EventQueue::new()`'s default.
+    Heap,
+    /// Calendar/ladder storage: `buckets` ring slots of `bucket_ms` virtual
+    /// milliseconds each; events beyond the `buckets * bucket_ms` horizon
+    /// wait in an overflow heap until the cursor approaches them.
+    Calendar {
+        /// Width of one ladder bucket in virtual milliseconds.
+        bucket_ms: f64,
+        /// Number of ring buckets (the near-future horizon is
+        /// `buckets * bucket_ms`).
+        buckets: usize,
+    },
+}
+
+impl QueueKind {
+    /// The calendar variant with defaults tuned for millisecond-granular
+    /// fleet schedules: 1 ms buckets, a ~1 s horizon.
+    pub fn calendar() -> Self {
+        QueueKind::Calendar {
+            bucket_ms: 1.0,
+            buckets: 1024,
+        }
+    }
+}
+
+/// Calendar/ladder storage: a ring of time buckets over
+/// `[cursor, cursor + n)` virtual bucket indices plus an overflow min-heap
+/// for events past that horizon.
+///
+/// Invariants:
+/// * every ring entry has `vindex ∈ [cursor, cursor + n)` — so within the
+///   window each ring bucket holds exactly one virtual index and a forward
+///   scan visits buckets in time order;
+/// * every overflow entry has `vindex >= cursor + n` — kept true by
+///   draining the overflow heap whenever the cursor advances.
+#[derive(Debug)]
+struct Calendar<T> {
+    buckets: Vec<Vec<Scheduled<T>>>,
+    bucket_ms: f64,
+    /// Lowest virtual bucket index a ring entry may occupy.
+    cursor: u64,
+    ring_len: usize,
+    overflow: BinaryHeap<Scheduled<T>>,
+}
+
+impl<T> Calendar<T> {
+    fn new(bucket_ms: f64, n: usize, capacity: usize) -> Self {
+        let n = n.max(1);
+        let bucket_ms = if bucket_ms > 0.0 { bucket_ms } else { 1.0 };
+        // Spread the capacity hint across the ring so steady-state bucket
+        // pushes never reallocate; the hint is a soft target, so a small
+        // floor per bucket is enough.
+        let per_bucket = (capacity / n).max(4);
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(Vec::with_capacity(per_bucket));
+        }
+        Calendar {
+            buckets,
+            bucket_ms,
+            cursor: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn vindex(&self, time: SimTime) -> u64 {
+        (time.as_millis() / self.bucket_ms) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    fn schedule(&mut self, entry: Scheduled<T>) {
+        let n = self.buckets.len() as u64;
+        let v = self.vindex(entry.time);
+        if v < self.cursor {
+            // A past-time insert (never produced by a simulation, which only
+            // schedules at or after its clock, but legal on the raw queue):
+            // rebase the window onto it and spill now-out-of-window ring
+            // entries to the overflow heap.
+            self.rebase(v);
+        }
+        if v >= self.cursor + n {
+            self.overflow.push(entry);
+        } else {
+            self.buckets[(v % n) as usize].push(entry);
+            self.ring_len += 1;
+        }
+    }
+
+    /// Moves the window start back to `v` and restores the ring invariant.
+    fn rebase(&mut self, v: u64) {
+        let n = self.buckets.len() as u64;
+        self.cursor = v;
+        if self.ring_len == 0 {
+            return;
+        }
+        for b in 0..self.buckets.len() {
+            let mut i = 0;
+            while i < self.buckets[b].len() {
+                let ev = self.vindex(self.buckets[b][i].time);
+                if ev >= self.cursor + n {
+                    let entry = self.buckets[b].swap_remove(i);
+                    self.overflow.push(entry);
+                    self.ring_len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Moves overflow events that entered the window into the ring.
+    fn drain_overflow(&mut self) {
+        let n = self.buckets.len() as u64;
+        while let Some(top) = self.overflow.peek() {
+            let v = self.vindex(top.time);
+            if v >= self.cursor + n {
+                break;
+            }
+            // The peek above proved the heap is non-empty.
+            if let Some(entry) = self.overflow.pop() {
+                self.buckets[(v % n) as usize].push(entry);
+                self.ring_len += 1;
+            }
+        }
+    }
+
+    /// The virtual index of the first non-empty ring bucket at or after the
+    /// cursor. `ring_len > 0` guarantees one exists within the window.
+    fn first_bucket(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        let mut vb = self.cursor;
+        while vb < self.cursor + n {
+            if !self.buckets[(vb % n) as usize].is_empty() {
+                return Some(vb);
+            }
+            vb += 1;
+        }
+        None
+    }
+
+    /// Index of the `(time, seq)`-minimal entry within a bucket.
+    fn min_in_bucket(bucket: &[Scheduled<T>]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in bucket.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let cur = &bucket[b];
+                    match e.time.as_millis().total_cmp(&cur.time.as_millis()) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => e.seq < cur.seq,
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<T>> {
+        if self.len() == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            // Ring exhausted: jump the window to the earliest far-future
+            // event and pull the now-near ones in.
+            if let Some(top) = self.overflow.peek() {
+                self.cursor = self.vindex(top.time);
+            }
+            self.drain_overflow();
+        }
+        let vb = self.first_bucket()?;
+        let slot = (vb % self.buckets.len() as u64) as usize;
+        let bucket = &mut self.buckets[slot];
+        let idx = Self::min_in_bucket(bucket)?;
+        let entry = bucket.swap_remove(idx);
+        self.ring_len -= 1;
+        // Advancing the cursor widens the horizon: top up the ring so the
+        // overflow invariant (`vindex >= cursor + n`) holds for peeks.
+        if vb > self.cursor {
+            self.cursor = vb;
+            self.drain_overflow();
+        }
+        Some(entry)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self.first_bucket() {
+            Some(vb) => {
+                let bucket = &self.buckets[(vb % self.buckets.len() as u64) as usize];
+                Self::min_in_bucket(bucket).map(|i| bucket[i].time)
+            }
+            // Empty ring: the overflow min is the global min.
+            None => self.overflow.peek().map(|s| s.time),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Repr<T> {
+    Heap(BinaryHeap<Scheduled<T>>),
+    Calendar(Calendar<T>),
+}
+
 /// A deterministic min-priority event queue keyed by [`SimTime`].
 ///
 /// # Examples
@@ -57,18 +292,48 @@ impl<T> PartialOrd for Scheduled<T> {
 /// assert_eq!(q.pop().unwrap().1, "b");
 /// assert!(q.pop().is_none());
 /// ```
+///
+/// The calendar variant pops in the identical order:
+///
+/// ```
+/// use sizeless_engine::queue::{EventQueue, QueueKind};
+/// use sizeless_engine::time::SimTime;
+///
+/// let mut q = EventQueue::with_kind(QueueKind::calendar());
+/// q.schedule(SimTime::from_millis(5.0), "b");
+/// q.schedule(SimTime::from_millis(1.0), "a");
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// ```
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Scheduled<T>>,
+    repr: Repr<T>,
     next_seq: u64,
     high_water: usize,
 }
 
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty heap-backed queue.
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::Heap)
+    }
+
+    /// Creates an empty queue with the chosen storage representation.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        Self::with_capacity(kind, 0)
+    }
+
+    /// Creates an empty queue pre-reserved for `capacity` pending events, so
+    /// steady-state scheduling never pays a realloc/re-heapify. The capacity
+    /// is a growth hint, not a limit.
+    pub fn with_capacity(kind: QueueKind, capacity: usize) -> Self {
+        let repr = match kind {
+            QueueKind::Heap => Repr::Heap(BinaryHeap::with_capacity(capacity)),
+            QueueKind::Calendar { bucket_ms, buckets } => {
+                Repr::Calendar(Calendar::new(bucket_ms, buckets, capacity))
+            }
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            repr,
             next_seq: 0,
             high_water: 0,
         }
@@ -78,28 +343,42 @@ impl<T> EventQueue<T> {
     pub fn schedule(&mut self, time: SimTime, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, payload });
-        self.high_water = self.high_water.max(self.heap.len());
+        let entry = Scheduled { time, seq, payload };
+        match &mut self.repr {
+            Repr::Heap(heap) => heap.push(entry),
+            Repr::Calendar(cal) => cal.schedule(entry),
+        }
+        self.high_water = self.high_water.max(self.len());
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|s| (s.time, s.payload))
+        let entry = match &mut self.repr {
+            Repr::Heap(heap) => heap.pop(),
+            Repr::Calendar(cal) => cal.pop(),
+        };
+        entry.map(|s| (s.time, s.payload))
     }
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        match &self.repr {
+            Repr::Heap(heap) => heap.peek().map(|s| s.time),
+            Repr::Calendar(cal) => cal.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.repr {
+            Repr::Heap(heap) => heap.len(),
+            Repr::Calendar(cal) => cal.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total events ever scheduled on this queue.
@@ -124,34 +403,53 @@ impl<T> Default for EventQueue<T> {
 mod tests {
     use super::*;
 
+    /// Both representations, so every test runs against each.
+    fn kinds() -> [QueueKind; 3] {
+        [
+            QueueKind::Heap,
+            QueueKind::calendar(),
+            // A deliberately tiny ladder so the overflow path is exercised.
+            QueueKind::Calendar {
+                bucket_ms: 1.0,
+                buckets: 4,
+            },
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(3.0), 3);
-        q.schedule(SimTime::from_millis(1.0), 1);
-        q.schedule(SimTime::from_millis(2.0), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_millis(3.0), 3);
+            q.schedule(SimTime::from_millis(1.0), 1);
+            q.schedule(SimTime::from_millis(2.0), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+            assert_eq!(order, vec![1, 2, 3], "{kind:?}");
+        }
     }
 
     #[test]
     fn ties_break_in_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(7.0);
-        for i in 0..100 {
-            q.schedule(t, i);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_millis(7.0);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<i32>>(), "{kind:?}");
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<i32>>());
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(4.0), ());
-        assert_eq!(q.peek_time().unwrap().as_millis(), 4.0);
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_millis(4.0), ());
+            assert_eq!(q.peek_time().unwrap().as_millis(), 4.0, "{kind:?}");
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
     }
 
     #[test]
@@ -161,32 +459,100 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
+        for kind in kinds() {
+            let mut q: EventQueue<()> = EventQueue::with_kind(kind);
+            assert!(q.pop().is_none(), "{kind:?}");
+            assert!(q.peek_time().is_none(), "{kind:?}");
+        }
     }
 
     #[test]
     fn high_water_tracks_peak_depth_not_current() {
-        let mut q = EventQueue::new();
-        for i in 0..5 {
-            q.schedule(SimTime::from_millis(i as f64), i);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..5 {
+                q.schedule(SimTime::from_millis(i as f64), i);
+            }
+            assert_eq!(q.high_water(), 5);
+            q.pop();
+            q.pop();
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.high_water(), 5, "draining must not lower the mark");
+            q.schedule(SimTime::from_millis(9.0), 9);
+            assert_eq!(q.high_water(), 5, "refilling below the peak keeps it");
+            assert_eq!(q.scheduled(), 6);
         }
-        assert_eq!(q.high_water(), 5);
-        q.pop();
-        q.pop();
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.high_water(), 5, "draining must not lower the mark");
-        q.schedule(SimTime::from_millis(9.0), 9);
-        assert_eq!(q.high_water(), 5, "refilling below the peak keeps it");
-        assert_eq!(q.scheduled(), 6);
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(10.0), "late");
-        q.schedule(SimTime::from_millis(1.0), "early");
-        assert_eq!(q.pop().unwrap().1, "early");
-        q.schedule(SimTime::from_millis(5.0), "middle");
-        assert_eq!(q.pop().unwrap().1, "middle");
-        assert_eq!(q.pop().unwrap().1, "late");
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_millis(10.0), "late");
+            q.schedule(SimTime::from_millis(1.0), "early");
+            assert_eq!(q.pop().unwrap().1, "early", "{kind:?}");
+            q.schedule(SimTime::from_millis(5.0), "middle");
+            assert_eq!(q.pop().unwrap().1, "middle", "{kind:?}");
+            assert_eq!(q.pop().unwrap().1, "late", "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn calendar_handles_far_future_and_past_inserts() {
+        // Beyond the 4-bucket horizon, so events park in overflow; then a
+        // past-time insert forces a rebase of the window.
+        let mut q = EventQueue::with_kind(QueueKind::Calendar {
+            bucket_ms: 1.0,
+            buckets: 4,
+        });
+        q.schedule(SimTime::from_millis(100.0), "far");
+        q.schedule(SimTime::from_millis(2.0), "near");
+        assert_eq!(q.pop().unwrap().1, "near");
+        q.schedule(SimTime::from_millis(1.0), "past");
+        assert_eq!(q.peek_time().unwrap().as_millis(), 1.0);
+        assert_eq!(q.pop().unwrap().1, "past");
+        q.schedule(SimTime::from_millis(101.5), "far2");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "far2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_a_mixed_schedule() {
+        // A deterministic pseudo-random interleaving of schedules and pops,
+        // replayed against both representations; the pop sequences must be
+        // identical (the full property test lives in
+        // tests/queue_equivalence.rs).
+        let run = |kind: QueueKind| -> Vec<(u64, u32)> {
+            let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+            let mut out = Vec::new();
+            let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+            for i in 0..4000u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let t = (x % 50_000) as f64 / 16.0;
+                q.schedule(SimTime::from_millis(t), i);
+                if x.is_multiple_of(3) {
+                    if let Some((time, p)) = q.pop() {
+                        out.push((time.as_millis().to_bits(), p));
+                    }
+                }
+            }
+            while let Some((time, p)) = q.pop() {
+                out.push((time.as_millis().to_bits(), p));
+            }
+            out
+        };
+        let heap = run(QueueKind::Heap);
+        for kind in [
+            QueueKind::calendar(),
+            QueueKind::Calendar {
+                bucket_ms: 7.0,
+                buckets: 16,
+            },
+        ] {
+            assert_eq!(run(kind), heap, "{kind:?}");
+        }
     }
 }

@@ -1,16 +1,44 @@
-//! A minimal callback-style simulation driver.
+//! A minimal simulation driver, generic over its event representation.
 //!
-//! Domain models (the platform, the load harness) schedule closures on the
-//! virtual clock; [`Simulation::run_until`] executes them in deterministic
-//! order. The driver is intentionally small — most heavy lifting lives in the
-//! domain crates — but centralizing clock advancement here guarantees the
-//! "time never goes backwards" invariant everywhere.
+//! Domain models schedule events on the virtual clock;
+//! [`Simulation::run_until`] executes them in deterministic order. The
+//! driver is intentionally small — most heavy lifting lives in the domain
+//! crates — but centralizing clock advancement here guarantees the "time
+//! never goes backwards" invariant everywhere.
+//!
+//! The event type is pluggable through [`SimEvent`]. The default,
+//! [`Callback`], is a boxed closure — the original callback API, unchanged
+//! for every existing caller. Hot simulation loops (the fleet) instead
+//! define a small `Copy` event enum and dispatch in [`SimEvent::fire`],
+//! which removes the per-event box allocation entirely: the queue then
+//! stores plain values, and a steady-state run allocates nothing per event.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
+use std::marker::PhantomData;
 
-/// An event handler: receives the simulation so it can schedule more events.
-type Handler<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
+/// A boxed event handler: receives the simulation so it can schedule more
+/// events.
+pub type Handler<S> = Box<dyn FnOnce(&mut Simulation<S>, &mut S)>;
+
+/// What a scheduled event does when its time comes.
+///
+/// Implementors are plain values (ideally small and `Copy`); `fire`
+/// consumes the event with full access to the simulation (to schedule
+/// follow-ups) and the domain state.
+pub trait SimEvent<S>: Sized + 'static {
+    /// Executes the event at its scheduled time.
+    fn fire(self, sim: &mut Simulation<S, Self>, state: &mut S);
+}
+
+/// The default event representation: a boxed `FnOnce` closure.
+pub struct Callback<S>(Handler<S>);
+
+impl<S: 'static> SimEvent<S> for Callback<S> {
+    fn fire(self, sim: &mut Simulation<S, Self>, state: &mut S) {
+        (self.0)(sim, state)
+    }
+}
 
 /// A snapshot of a simulation's run counters, for post-run introspection
 /// and the events/sec benchmark.
@@ -24,7 +52,8 @@ pub struct SimStats {
     pub peak_pending: usize,
 }
 
-/// A discrete-event simulation over domain state `S`.
+/// A discrete-event simulation over domain state `S` with event
+/// representation `E` (boxed closures by default).
 ///
 /// # Examples
 ///
@@ -40,13 +69,14 @@ pub struct SimStats {
 /// sim.run_until(SimTime::from_millis(100.0), &mut log);
 /// assert_eq!(log, vec![10.0]);
 /// ```
-pub struct Simulation<S> {
+pub struct Simulation<S, E = Callback<S>> {
     clock: SimTime,
-    events: EventQueue<Handler<S>>,
+    events: EventQueue<E>,
     executed: u64,
+    _state: PhantomData<fn(&mut S)>,
 }
 
-impl<S> std::fmt::Debug for Simulation<S> {
+impl<S, E> std::fmt::Debug for Simulation<S, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("clock", &self.clock)
@@ -56,13 +86,21 @@ impl<S> std::fmt::Debug for Simulation<S> {
     }
 }
 
-impl<S> Simulation<S> {
-    /// Creates a simulation with the clock at zero.
+impl<S, E: SimEvent<S>> Simulation<S, E> {
+    /// Creates a simulation with the clock at zero and heap-backed storage.
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::Heap, 0)
+    }
+
+    /// Creates a simulation with the chosen event-queue representation,
+    /// pre-reserved for `capacity` pending events (a growth hint — pass the
+    /// expected steady-state queue depth, not the total event count).
+    pub fn with_queue(kind: QueueKind, capacity: usize) -> Self {
         Simulation {
             clock: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(kind, capacity),
             executed: 0,
+            _state: PhantomData,
         }
     }
 
@@ -91,31 +129,23 @@ impl<S> Simulation<S> {
         }
     }
 
-    /// Schedules `handler` at absolute time `at`.
+    /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past.
-    pub fn schedule_at(
-        &mut self,
-        at: SimTime,
-        handler: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
-    ) {
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.clock,
             "cannot schedule an event in the past ({at} < {})",
             self.clock
         );
-        self.events.schedule(at, Box::new(handler));
+        self.events.schedule(at, event);
     }
 
-    /// Schedules `handler` after a delay from the current clock.
-    pub fn schedule_in(
-        &mut self,
-        delay: SimDuration,
-        handler: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
-    ) {
-        self.schedule_at(self.clock + delay, handler);
+    /// Schedules `event` after a delay from the current clock.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_event_at(self.clock + delay, event);
     }
 
     /// The virtual time of the next pending event, if any.
@@ -132,10 +162,10 @@ impl<S> Simulation<S> {
     /// clock to its time. Returns `false` when no event is pending.
     pub fn step(&mut self, state: &mut S) -> bool {
         match self.events.pop() {
-            Some((t, handler)) => {
+            Some((t, event)) => {
                 debug_assert!(t >= self.clock, "event queue returned a past event");
                 self.clock = t;
-                handler(self, state);
+                event.fire(self, state);
                 self.executed += 1;
                 true
             }
@@ -154,10 +184,10 @@ impl<S> Simulation<S> {
                 break;
             }
             // lint: allow(panic002) reason="pop follows a successful peek on the same queue with no intervening mutation"
-            let (t, handler) = self.events.pop().expect("peeked event must exist");
+            let (t, event) = self.events.pop().expect("peeked event must exist");
             debug_assert!(t >= self.clock, "event queue returned a past event");
             self.clock = t;
-            handler(self, state);
+            event.fire(self, state);
             self.executed += 1;
         }
         // The clock advances to the deadline even if no event lands on it.
@@ -175,7 +205,33 @@ impl<S> Simulation<S> {
     }
 }
 
-impl<S> Default for Simulation<S> {
+/// The closure-scheduling sugar, available on the default (callback) event
+/// representation only: boxes the closure into a [`Callback`] event.
+impl<S: 'static> Simulation<S, Callback<S>> {
+    /// Schedules `handler` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    ) {
+        self.schedule_event_at(at, Callback(Box::new(handler)));
+    }
+
+    /// Schedules `handler` after a delay from the current clock.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut Simulation<S>, &mut S) + 'static,
+    ) {
+        self.schedule_at(self.clock + delay, handler);
+    }
+}
+
+impl<S, E: SimEvent<S>> Default for Simulation<S, E> {
     fn default() -> Self {
         Self::new()
     }
@@ -285,5 +341,42 @@ mod tests {
         sim.schedule_at(SimTime::from_millis(5.0), |_, _| {});
         sim.run_to_completion(&mut ());
         sim.schedule_at(SimTime::from_millis(1.0), |_, _| {});
+    }
+
+    /// A typed (non-callback) event representation: no boxing anywhere.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Tick {
+        Once(u32),
+        Chain { left: u32 },
+    }
+
+    impl SimEvent<Vec<u32>> for Tick {
+        fn fire(self, sim: &mut Simulation<Vec<u32>, Tick>, log: &mut Vec<u32>) {
+            match self {
+                Tick::Once(v) => log.push(v),
+                Tick::Chain { left } => {
+                    log.push(left);
+                    if left > 0 {
+                        sim.schedule_event_in(
+                            SimDuration::from_millis(1.0),
+                            Tick::Chain { left: left - 1 },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_fire_in_order_and_chain() {
+        let mut sim: Simulation<Vec<u32>, Tick> =
+            Simulation::with_queue(QueueKind::calendar(), 16);
+        sim.schedule_event_at(SimTime::from_millis(5.0), Tick::Once(50));
+        sim.schedule_event_at(SimTime::from_millis(1.0), Tick::Chain { left: 2 });
+        let mut log = Vec::new();
+        sim.run_to_completion(&mut log);
+        assert_eq!(log, vec![2, 1, 0, 50]);
+        assert_eq!(sim.now().as_millis(), 5.0);
+        assert_eq!(sim.stats().executed, 4);
     }
 }

@@ -1,0 +1,194 @@
+//! Property suite: every [`QueueKind`] pops in exactly the heap's order.
+//!
+//! The calendar/ladder representation is purely a performance choice — the
+//! module doc of `sizeless_engine::queue` promises the knob "can never
+//! change a simulation result". This suite pins that promise on arbitrary
+//! operation sequences: random timestamps (including exact ties), random
+//! interleavings of schedules and pops, tiny ladders that force the
+//! overflow and rebase paths, and capacity hints. Payloads are the
+//! schedule indices, so a single out-of-order pop is visible.
+
+use proptest::prelude::*;
+use sizeless_engine::{EventQueue, QueueKind, SimTime};
+
+/// The ladder configurations under test, from the tuned default down to a
+/// deliberately degenerate single-bucket ring (everything overflows).
+fn calendar_kinds() -> Vec<QueueKind> {
+    vec![
+        QueueKind::calendar(),
+        QueueKind::Calendar {
+            bucket_ms: 1.0,
+            buckets: 4,
+        },
+        QueueKind::Calendar {
+            bucket_ms: 7.0,
+            buckets: 16,
+        },
+        QueueKind::Calendar {
+            bucket_ms: 0.25,
+            buckets: 1,
+        },
+    ]
+}
+
+/// One scripted queue operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Schedule at this timestamp (ms).
+    Schedule(f64),
+    /// Pop once (no-op on an empty queue).
+    Pop,
+}
+
+/// Decodes a generated `(selector, tick, half)` triple into an [`Op`]: one
+/// in four operations pops, the rest schedule on a coarse 0.5 ms grid (so
+/// exact timestamp ties are common) with an optional 0.25 ms offset that
+/// keeps some values off bucket boundaries.
+fn decode(triple: (u32, u32, u32)) -> Op {
+    let (selector, tick, half) = triple;
+    if selector == 0 {
+        Op::Pop
+    } else {
+        Op::Schedule(f64::from(tick) * 0.5 + if half == 1 { 0.25 } else { 0.0 })
+    }
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u32..4, 0u32..2_000, 0u32..2), 0..max_len)
+        .prop_map(|triples| triples.into_iter().map(decode).collect())
+}
+
+/// Replays `ops` against a queue of the given kind and returns the
+/// `(time-bits, payload)` pop sequence, draining at the end. Payloads are
+/// schedule indices, so any reordering — even among exact timestamp ties —
+/// changes the output.
+fn replay(kind: QueueKind, capacity: usize, ops: &[Op]) -> Vec<(u64, u32)> {
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(kind, capacity);
+    let mut out = Vec::new();
+    let mut idx = 0u32;
+    for op in ops {
+        match op {
+            Op::Schedule(at) => {
+                q.schedule(SimTime::from_millis(*at), idx);
+                idx += 1;
+            }
+            Op::Pop => {
+                if let Some((t, p)) = q.pop() {
+                    out.push((t.as_millis().to_bits(), p));
+                }
+            }
+        }
+    }
+    while let Some((t, p)) = q.pop() {
+        out.push((t.as_millis().to_bits(), p));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary schedule/pop interleavings: every calendar configuration
+    /// pops the exact heap sequence, bit-for-bit timestamps included.
+    #[test]
+    fn calendar_pops_in_exact_heap_order(
+        ops in ops_strategy(400),
+        capacity in 0usize..64,
+    ) {
+        let heap = replay(QueueKind::Heap, capacity, &ops);
+        for kind in calendar_kinds() {
+            prop_assert_eq!(replay(kind, capacity, &ops), heap.clone(), "{:?}", kind);
+        }
+    }
+
+    /// Bursts of identical timestamps pop in insertion (FIFO) order under
+    /// every representation.
+    #[test]
+    fn same_timestamp_ties_are_fifo(
+        times in proptest::collection::vec(0u32..50, 1..120),
+    ) {
+        for kind in std::iter::once(QueueKind::Heap).chain(calendar_kinds()) {
+            let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(f64::from(*t)), i as u32);
+            }
+            let mut popped: Vec<(u32, u32)> = Vec::new();
+            while let Some((t, p)) = q.pop() {
+                popped.push((t.as_millis() as u32, p));
+            }
+            // Sorted by time; within one timestamp the payloads (insertion
+            // indices) must ascend — Vec::sort is stable, so sorting the
+            // (time, index) pairs gives exactly the FIFO-tie order.
+            let mut expected: Vec<(u32, u32)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (*t, i as u32))
+                .collect();
+            expected.sort();
+            prop_assert_eq!(popped, expected, "{:?}", kind);
+        }
+    }
+
+    /// `peek_time` always reports exactly the timestamp the next pop
+    /// returns, and agrees with it on emptiness.
+    #[test]
+    fn peek_matches_next_pop(ops in ops_strategy(200)) {
+        for kind in std::iter::once(QueueKind::Heap).chain(calendar_kinds()) {
+            let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+            let mut idx = 0u32;
+            for op in &ops {
+                match op {
+                    Op::Schedule(at) => {
+                        q.schedule(SimTime::from_millis(*at), idx);
+                        idx += 1;
+                    }
+                    Op::Pop => {
+                        let peek = q.peek_time();
+                        let popped = q.pop();
+                        match (peek, popped) {
+                            (Some(pt), Some((t, _))) => prop_assert_eq!(
+                                pt.as_millis().to_bits(),
+                                t.as_millis().to_bits(),
+                                "{:?}",
+                                kind
+                            ),
+                            (None, None) => {}
+                            (peek, popped) => prop_assert!(
+                                false,
+                                "peek/pop disagree on emptiness: {:?} vs {:?} ({:?})",
+                                peek,
+                                popped.map(|(t, p)| (t.as_millis(), p)),
+                                kind
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Counters (scheduled / high-water / len) agree across representations —
+/// the engine's `SimStats` are derived from these, so divergence here
+/// would silently skew reported run statistics.
+#[test]
+fn bookkeeping_matches_across_kinds() {
+    let script: Vec<f64> = (0..500)
+        .map(|i| f64::from((i * 37) % 199) * 0.75)
+        .collect();
+    let mut reference: Option<(u64, usize, usize)> = None;
+    for kind in std::iter::once(QueueKind::Heap).chain(calendar_kinds()) {
+        let mut q: EventQueue<usize> = EventQueue::with_kind(kind);
+        for (i, t) in script.iter().enumerate() {
+            q.schedule(SimTime::from_millis(*t), i);
+            if i.is_multiple_of(5) {
+                q.pop();
+            }
+        }
+        let stats = (q.scheduled(), q.high_water(), q.len());
+        match &reference {
+            None => reference = Some(stats),
+            Some(r) => assert_eq!(stats, *r, "{kind:?}"),
+        }
+    }
+}

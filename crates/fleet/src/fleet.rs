@@ -33,17 +33,115 @@ use crate::stats::{FaultSummary, FleetReport, RightsizingReport};
 use sizeless_core::service::{
     DirectiveReason, FnPhase, RouteDecision, SizingDirective, SizingService,
 };
-use sizeless_engine::{RngStream, SimTime, Simulation};
+use sizeless_engine::{QueueKind, RngStream, SimEvent, SimTime, Simulation};
 use sizeless_obs::{
     CounterId, FaultKind, HistogramId, LoopPhase, MetricsRegistry, NullSink, ResizeCause,
     ThrottleCause, TraceEvent, TraceSink,
 };
 use sizeless_platform::{FunctionConfig, MemorySize, Platform, ResourceProfile};
 use sizeless_telemetry::{
-    FleetCounters, FleetMetrics, InvocationSample, ResourceMonitor, RightsizingCounters,
-    RightsizingMetrics, SimRunStats,
+    CompletionTally, FleetCounters, FleetMetrics, InvocationSample, ResourceMonitor,
+    RightsizingCounters, RightsizingMetrics, SimRunStats, TallyBatch,
 };
 use sizeless_workload::{ArrivalProcess, BurstyArrival, BurstySampler};
+
+/// The fleet's simulation type: typed events on the engine core.
+///
+/// Every fleet event is a small `Copy` value ([`FleetEvent`]); payloads too
+/// big to ride in the event (the settle record) live in the fleet's slab.
+/// The event queue therefore stores plain values and a steady-state run
+/// performs zero allocations per event — the boxed-closure path the fleet
+/// used before allocated twice per invocation.
+pub type FleetSim<S> = Simulation<Fleet<S>, FleetEvent>;
+
+/// One scheduled fleet event. Kept small (16 bytes) and `Copy`: anything
+/// bigger is parked in a slab on the [`Fleet`] and referenced by slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are documented on the variants
+pub enum FleetEvent {
+    /// A request for `fn_id` arrives (and schedules the next arrival).
+    Arrival { fn_id: u32 },
+    /// An in-flight attempt settles; its record sits in the settle slab.
+    Settle { slot: u32 },
+    /// A retry attempt of a previously failed request starts.
+    Retry { fn_id: u32, attempt: u32 },
+    /// A host crashes and rejoins after `down_ms`.
+    HostCrash { host: u32, down_ms: f64 },
+    /// A crashed host rejoins cold.
+    HostRejoin { host: u32 },
+    /// A region-wide outage begins (multi-region driver).
+    BeginOutage,
+    /// A region-wide outage ends (multi-region driver).
+    EndOutage,
+    /// A request failed over from another region arrives.
+    AcceptFailover { fn_id: u32 },
+    /// A pre-registered workload shift applies (multi-region driver);
+    /// the profile lives in the fleet's shift table.
+    ShiftProfile { slot: u32 },
+}
+
+impl<S: TraceSink + 'static> SimEvent<Fleet<S>> for FleetEvent {
+    fn fire(self, sim: &mut FleetSim<S>, fleet: &mut Fleet<S>) {
+        match self {
+            FleetEvent::Arrival { fn_id } => Fleet::on_arrival(sim, fleet, fn_id as usize),
+            FleetEvent::Settle { slot } => {
+                let p = fleet.settles.take(slot);
+                fleet.on_settle(sim, p.done, p.sample, p.fault);
+            }
+            FleetEvent::Retry { fn_id, attempt } => {
+                let at = sim.now().as_millis();
+                fleet.start_attempt(sim, fn_id as usize, attempt as usize, at);
+            }
+            FleetEvent::HostCrash { host, down_ms } => {
+                fleet.on_host_crash(sim, host as usize, down_ms);
+            }
+            FleetEvent::HostRejoin { host } => fleet.on_host_rejoin(sim, host as usize),
+            FleetEvent::BeginOutage => fleet.begin_outage(sim),
+            FleetEvent::EndOutage => fleet.end_outage(sim),
+            FleetEvent::AcceptFailover { fn_id } => fleet.accept_failover(sim, fn_id as usize),
+            FleetEvent::ShiftProfile { slot } => fleet.apply_shift(slot),
+        }
+    }
+}
+
+/// Everything a [`FleetEvent::Settle`] needs, parked in the slab between
+/// dispatch and settle.
+#[derive(Debug, Clone)]
+struct PendingSettle {
+    done: Completion,
+    sample: Option<InvocationSample>,
+    fault: Option<FaultKind>,
+}
+
+/// A free-list slab of pending settle records: slots are reused as
+/// invocations complete, so after warmup the steady-state attempt/settle
+/// path touches no allocator at all.
+#[derive(Debug, Default)]
+struct SettleSlab {
+    slots: Vec<Option<PendingSettle>>,
+    free: Vec<u32>,
+}
+
+impl SettleSlab {
+    fn insert(&mut self, p: PendingSettle) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(p);
+                slot
+            }
+            None => {
+                self.slots.push(Some(p));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> PendingSettle {
+        self.free.push(slot);
+        // lint: allow(panic001) reason="a settle event is scheduled exactly once per slab insert, so the slot is full"
+        self.slots[slot as usize].take().unwrap()
+    }
+}
 
 /// Maps the sizing service's phase enum onto the obs crate's primitive
 /// mirror (obs sits below the core crate and cannot name its types).
@@ -160,6 +258,10 @@ pub struct FleetConfig {
     /// Re-check conservation/capacity invariants after every event
     /// (used by the property tests; costs a full fleet scan per event).
     pub check_invariants: bool,
+    /// Event-queue implementation for the run. Defaults to the calendar
+    /// queue, which pops in exactly the heap's order (property-tested in
+    /// the engine crate) while scaling better on big runs.
+    pub queue: QueueKind,
 }
 
 impl FleetConfig {
@@ -181,6 +283,7 @@ impl FleetConfig {
             function_limit: None,
             account_limit: None,
             check_invariants: false,
+            queue: QueueKind::calendar(),
         }
     }
 
@@ -211,6 +314,11 @@ impl FleetConfig {
             check_invariants: true,
             ..self
         }
+    }
+
+    /// Returns a copy running on the given event-queue implementation.
+    pub fn with_queue(self, queue: QueueKind) -> Self {
+        FleetConfig { queue, ..self }
     }
 }
 
@@ -320,6 +428,10 @@ pub struct Fleet<S: TraceSink = NullSink> {
     keepalive: Box<dyn KeepAlivePolicy>,
     limits: ConcurrencyLimits,
     counters: FleetCounters,
+    /// Buffered completion tallies, flushed into `counters` in batches
+    /// (bit-identically to direct per-completion updates — see
+    /// [`TallyBatch`]). Flushed before every invariant check and report.
+    tallies: TallyBatch,
     max_latency_ms: f64,
     duration_ms: f64,
     default_ttl_ms: f64,
@@ -334,6 +446,14 @@ pub struct Fleet<S: TraceSink = NullSink> {
     faults: Option<FaultState>,
     retry: Option<RetryState>,
     timeout_ms: Option<f64>,
+    /// Pending settle records referenced by [`FleetEvent::Settle`] slots.
+    settles: SettleSlab,
+    /// Registered workload-shift profiles referenced by
+    /// [`FleetEvent::ShiftProfile`] slots (multi-region driver).
+    shifts: Vec<(usize, ResourceProfile)>,
+    /// Event-queue implementation [`Fleet::run_traced`] builds its
+    /// simulation on.
+    queue: QueueKind,
 }
 
 impl Fleet {
@@ -381,6 +501,7 @@ impl Fleet {
                 config.account_limit,
             ),
             counters: FleetCounters::default(),
+            tallies: TallyBatch::new(),
             max_latency_ms: 0.0,
             duration_ms: config.duration_ms,
             default_ttl_ms: platform.cold_start_model().idle_ttl_ms,
@@ -395,6 +516,9 @@ impl Fleet {
             faults: None,
             retry: None,
             timeout_ms: None,
+            settles: SettleSlab::default(),
+            shifts: Vec::new(),
+            queue: config.queue,
         }
     }
 }
@@ -414,6 +538,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
             keepalive: self.keepalive,
             limits: self.limits,
             counters: self.counters,
+            tallies: self.tallies,
             max_latency_ms: self.max_latency_ms,
             duration_ms: self.duration_ms,
             default_ttl_ms: self.default_ttl_ms,
@@ -428,6 +553,9 @@ impl<S: TraceSink + 'static> Fleet<S> {
             faults: self.faults,
             retry: self.retry,
             timeout_ms: self.timeout_ms,
+            settles: self.settles,
+            shifts: self.shifts,
+            queue: self.queue,
         }
     }
 
@@ -549,7 +677,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     }
 
     /// Handles one request for `fn_id` arriving at `now_ms`.
-    fn dispatch(&mut self, sim: &mut Simulation<Self>, fn_id: usize, now_ms: f64) {
+    fn dispatch(&mut self, sim: &mut FleetSim<S>, fn_id: usize, now_ms: f64) {
         if let Some(f) = self.faults.as_mut() {
             if f.outage && f.failover {
                 // The whole region is dark: hand the arrival to the
@@ -585,7 +713,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// straight from [`Fleet::dispatch`], later attempts from
     /// self-scheduled retry events. The request already holds its
     /// concurrency slot either way.
-    fn start_attempt(&mut self, sim: &mut Simulation<Self>, fn_id: usize, attempt: usize, now_ms: f64) {
+    fn start_attempt(&mut self, sim: &mut FleetSim<S>, fn_id: usize, attempt: usize, now_ms: f64) {
         if attempt > 1 {
             // lint: allow(panic002) reason="retry attempts are only scheduled by fail_attempt, which requires retry state"
             let r = self.retry.as_mut().expect("retry attempt without retry state");
@@ -668,18 +796,15 @@ impl<S: TraceSink + 'static> Fleet<S> {
             let sizing = self.sizing.as_mut().expect("shadow pools exist only with sizing");
             sizing.counters.shadow_dispatches += 1;
         }
-        let mut record = if memory == deployed {
-            self.platform
-                .invoke(&self.functions[fn_id].config, cold, &mut self.exec_rng)
-        } else {
-            // A shadow invocation runs at the base size: base scaling laws,
-            // base pricing.
-            self.platform.invoke(
-                &self.functions[fn_id].config.with_memory(memory),
-                cold,
-                &mut self.exec_rng,
-            )
-        };
+        // `invoke_unnamed_at` skips the per-invocation name allocation
+        // (the completion path tracks functions by id) and runs shadow
+        // invocations at the base size without cloning the profile.
+        let mut record = self.platform.invoke_unnamed_at(
+            &self.functions[fn_id].config,
+            memory,
+            cold,
+            &mut self.exec_rng,
+        );
         if let Some(f) = self.faults.as_ref() {
             if let Some(r) = f.recovery {
                 if now_ms < f.recovering_until[host] {
@@ -763,22 +888,24 @@ impl<S: TraceSink + 'static> Fleet<S> {
         };
         let epoch = self.faults.as_ref().map_or(0, |f| f.epoch[host]);
         let fail_cause = planned_fail.map(|(c, _)| c);
-        sim.schedule_at(SimTime::from_millis(now_ms + occupancy_ms), move |s, f| {
-            let done = Completion {
-                fn_id,
-                pool,
-                host,
-                placement,
-                memory,
-                latency_ms,
-                occupancy_ms,
-                exec_ms,
-                cost_usd,
-                attempt,
-                epoch,
-            };
-            f.on_settle(s, done, sample, fail_cause);
-        });
+        let done = Completion {
+            fn_id,
+            pool,
+            host,
+            placement,
+            memory,
+            latency_ms,
+            occupancy_ms,
+            exec_ms,
+            cost_usd,
+            attempt,
+            epoch,
+        };
+        let slot = self.settles.insert(PendingSettle { done, sample, fault: fail_cause });
+        sim.schedule_event_at(
+            SimTime::from_millis(now_ms + occupancy_ms),
+            FleetEvent::Settle { slot },
+        );
     }
 
     /// Every attempt settles here: a host crash since dispatch overrides
@@ -786,7 +913,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// transient fault or timeout, and only then normal completion.
     fn on_settle(
         &mut self,
-        sim: &mut Simulation<Self>,
+        sim: &mut FleetSim<S>,
         done: Completion,
         sample: Option<InvocationSample>,
         fault: Option<FaultKind>,
@@ -818,7 +945,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// A failed attempt either schedules a retry (staying in flight and
     /// holding its limit slot through the backoff) or fails the request
     /// terminally.
-    fn fail_attempt(&mut self, sim: &mut Simulation<Self>, done: Completion, cause: FaultKind) {
+    fn fail_attempt(&mut self, sim: &mut FleetSim<S>, done: Completion, cause: FaultKind) {
         let now_ms = sim.now().as_millis();
         self.counters.failed_attempts += 1;
         self.sink.record(
@@ -854,11 +981,10 @@ impl<S: TraceSink + 'static> Fleet<S> {
             if let Some(o) = self.obs.as_mut() {
                 o.registry.inc(o.retries);
             }
-            let fn_id = done.fn_id;
-            sim.schedule_at(SimTime::from_millis(now_ms + delay_ms), move |s, fl| {
-                let at = s.now().as_millis();
-                fl.start_attempt(s, fn_id, next, at);
-            });
+            sim.schedule_event_at(
+                SimTime::from_millis(now_ms + delay_ms),
+                FleetEvent::Retry { fn_id: done.fn_id as u32, attempt: next as u32 },
+            );
         } else {
             self.counters.failed += 1;
             if done.attempt > 1 {
@@ -875,7 +1001,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// Crashes `host` at the current simulation time: warm generations are
     /// pruned, in-flight attempts become zombies that fail at their settle
     /// events, and the host rejoins cold after `down_ms`.
-    fn on_host_crash(&mut self, sim: &mut Simulation<Self>, host: usize, down_ms: f64) {
+    fn on_host_crash(&mut self, sim: &mut FleetSim<S>, host: usize, down_ms: f64) {
         if !self.hosts[host].is_available() {
             return;
         }
@@ -911,15 +1037,16 @@ impl<S: TraceSink + 'static> Fleet<S> {
         if let Some(o) = self.obs.as_mut() {
             o.registry.inc(o.host_crashes);
         }
-        sim.schedule_at(SimTime::from_millis(now_ms + down_ms), move |s, fl| {
-            fl.on_host_rejoin(s, host);
-        });
+        sim.schedule_event_at(
+            SimTime::from_millis(now_ms + down_ms),
+            FleetEvent::HostRejoin { host: host as u32 },
+        );
         if self.check_invariants {
             self.assert_invariants(now_ms);
         }
     }
 
-    fn on_host_rejoin(&mut self, sim: &mut Simulation<Self>, host: usize) {
+    fn on_host_rejoin(&mut self, sim: &mut FleetSim<S>, host: usize) {
         if self.hosts[host].is_available() {
             return;
         }
@@ -937,7 +1064,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// Begins a region-wide outage: every available host crashes and new
     /// arrivals divert to failover (or shed) until [`Fleet::end_outage`].
     /// Driven externally by the multi-region runner.
-    pub(crate) fn begin_outage(&mut self, sim: &mut Simulation<Self>) {
+    pub(crate) fn begin_outage(&mut self, sim: &mut FleetSim<S>) {
         let now_ms = sim.now().as_millis();
         for host in 0..self.hosts.len() {
             if !self.hosts[host].is_available() {
@@ -973,7 +1100,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
     }
 
     /// Ends a region-wide outage: every downed host rejoins cold.
-    pub(crate) fn end_outage(&mut self, sim: &mut Simulation<Self>) {
+    pub(crate) fn end_outage(&mut self, sim: &mut FleetSim<S>) {
         let now_ms = sim.now().as_millis();
         // lint: allow(panic002) reason="outage events are only scheduled when a fault plan is installed"
         let f = self.faults.as_mut().expect("outage events imply faults");
@@ -1013,7 +1140,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
 
     /// Accepts a request failed over from another region: it enters this
     /// fleet's admission path like a local arrival.
-    pub(crate) fn accept_failover(&mut self, sim: &mut Simulation<Self>, fn_id: usize) {
+    pub(crate) fn accept_failover(&mut self, sim: &mut FleetSim<S>, fn_id: usize) {
         let now_ms = sim.now().as_millis();
         if let Some(f) = self.faults.as_mut() {
             f.summary.failovers_in += 1;
@@ -1035,7 +1162,7 @@ impl<S: TraceSink + 'static> Fleet<S> {
 
     fn on_complete(
         &mut self,
-        sim: &mut Simulation<Self>,
+        sim: &mut FleetSim<S>,
         done: Completion,
         sample: Option<InvocationSample>,
     ) {
@@ -1044,12 +1171,18 @@ impl<S: TraceSink + 'static> Fleet<S> {
         self.hosts[done.host].complete(done.pool, done.placement, now_ms, ttl, done.occupancy_ms);
         self.limits.release(done.fn_id);
         let exec_mb_ms = done.exec_ms * f64::from(done.memory.mb());
-        self.counters.exec_mb_ms += exec_mb_ms;
-        self.counters.in_flight -= 1;
-        self.counters.completed += 1;
-        self.counters.sum_attempts_completed += done.attempt;
-        self.counters.sum_latency_ms += done.latency_ms;
-        self.counters.sum_cost_usd += done.cost_usd;
+        // Buffer the counter deltas instead of scattering six
+        // read-modify-writes into the counters per completion; the flush
+        // replays them in order, so the sums are bit-identical.
+        let full = self.tallies.push(CompletionTally {
+            attempt: done.attempt,
+            latency_ms: done.latency_ms,
+            cost_usd: done.cost_usd,
+            exec_mb_ms,
+        });
+        if full {
+            self.tallies.flush_into(&mut self.counters);
+        }
         self.max_latency_ms = self.max_latency_ms.max(done.latency_ms);
         if let Some(o) = self.obs.as_mut() {
             o.registry.observe(o.latency_ms, done.latency_ms);
@@ -1185,15 +1318,31 @@ impl<S: TraceSink + 'static> Fleet<S> {
         self.functions[fn_id].config = FunctionConfig::new(profile, memory);
     }
 
-    fn on_arrival(sim: &mut Simulation<Self>, fleet: &mut Self, fn_id: usize) {
+    /// Registers a workload shift for event-driven application and returns
+    /// the slot to embed in a [`FleetEvent::ShiftProfile`] event. External
+    /// drivers register shifts up front, then schedule the event at the
+    /// shift time.
+    pub fn register_shift(&mut self, fn_id: usize, profile: ResourceProfile) -> u32 {
+        self.shifts.push((fn_id, profile));
+        (self.shifts.len() - 1) as u32
+    }
+
+    /// Applies a shift registered with [`Fleet::register_shift`].
+    fn apply_shift(&mut self, slot: u32) {
+        let (fn_id, profile) = self.shifts[slot as usize].clone();
+        self.shift_profile(fn_id, profile);
+    }
+
+    fn on_arrival(sim: &mut FleetSim<S>, fleet: &mut Self, fn_id: usize) {
         let now_ms = sim.now().as_millis();
         // Schedule the next arrival first: the arrival stream depends only
         // on the function's own RNG, never on dispatch decisions.
         let next = now_ms + fleet.next_arrival_gap(fn_id);
         if next < fleet.duration_ms {
-            sim.schedule_at(SimTime::from_millis(next), move |s, f| {
-                Self::on_arrival(s, f, fn_id);
-            });
+            sim.schedule_event_at(
+                SimTime::from_millis(next),
+                FleetEvent::Arrival { fn_id: fn_id as u32 },
+            );
         }
         fleet.dispatch(sim, fn_id, now_ms);
         if fleet.check_invariants {
@@ -1208,6 +1357,9 @@ impl<S: TraceSink + 'static> Fleet<S> {
     ///
     /// Panics on any violation.
     pub fn assert_invariants(&mut self, now_ms: f64) {
+        // The ledgers are only exact at batch boundaries — settle pending
+        // completion tallies before reading the counters.
+        self.tallies.flush_into(&mut self.counters);
         assert!(
             self.counters.is_conserved(),
             "conservation violated: {:?}",
@@ -1255,24 +1407,25 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// external drivers (e.g. [`run_multi_region`](crate::region)) prime
     /// several fleets onto their own simulations, interleave them through
     /// one merged deterministic event loop, and report each at the end.
-    pub fn prime(&mut self, sim: &mut Simulation<Self>) {
+    pub fn prime(&mut self, sim: &mut FleetSim<S>) {
         let mut first_arrivals = Vec::with_capacity(self.functions.len());
         for fn_id in 0..self.functions.len() {
             first_arrivals.push((fn_id, self.next_arrival_gap(fn_id)));
         }
         for (fn_id, at) in first_arrivals {
             if at < self.duration_ms {
-                sim.schedule_at(SimTime::from_millis(at), move |s, f| {
-                    Self::on_arrival(s, f, fn_id);
-                });
+                sim.schedule_event_at(
+                    SimTime::from_millis(at),
+                    FleetEvent::Arrival { fn_id: fn_id as u32 },
+                );
             }
         }
         if let Some(f) = &self.faults {
             for c in &f.crashes {
-                let (host, down_ms) = (c.host, c.down_ms);
-                sim.schedule_at(SimTime::from_millis(c.at_ms), move |s, fl| {
-                    fl.on_host_crash(s, host, down_ms);
-                });
+                sim.schedule_event_at(
+                    SimTime::from_millis(c.at_ms),
+                    FleetEvent::HostCrash { host: c.host as u32, down_ms: c.down_ms },
+                );
             }
         }
     }
@@ -1285,22 +1438,32 @@ impl<S: TraceSink + 'static> Fleet<S> {
     /// Runs the fleet to completion and hands back the trace sink alongside
     /// the report — the traced analogue of [`Fleet::run`].
     pub fn run_traced(mut self) -> (FleetReport, S) {
-        let mut sim: Simulation<Self> = Simulation::new();
+        let mut sim: FleetSim<S> =
+            Simulation::with_queue(self.queue, self.event_capacity_hint());
         self.prime(&mut sim);
         sim.run_to_completion(&mut self);
         self.into_report_and_sink(&sim)
     }
 
+    /// Expected simultaneous event count, used to pre-reserve queue
+    /// capacity: roughly one pending arrival plus one in-flight settle per
+    /// function, scaled by the fleet's aggregate arrival rate.
+    pub fn event_capacity_hint(&self) -> usize {
+        let rps: f64 = self.functions.iter().map(|f| f.arrival.mean_rps()).sum();
+        self.functions.len() * 2 + rps as usize + 64
+    }
+
     /// Finalizes accounting and produces the report. `sim` must be the
     /// (drained) simulation this fleet ran on.
-    pub fn into_report(self, sim: &Simulation<Self>) -> FleetReport {
+    pub fn into_report(self, sim: &FleetSim<S>) -> FleetReport {
         self.into_report_and_sink(sim).0
     }
 
     /// [`Fleet::into_report`], also handing the trace sink back to the
     /// caller for export.
-    pub fn into_report_and_sink(mut self, sim: &Simulation<Self>) -> (FleetReport, S) {
+    pub fn into_report_and_sink(mut self, sim: &FleetSim<S>) -> (FleetReport, S) {
         let horizon_ms = sim.now().as_millis().max(self.duration_ms);
+        self.tallies.flush_into(&mut self.counters);
 
         for host in &mut self.hosts {
             host.finalize(horizon_ms);

@@ -94,11 +94,12 @@ struct FnHistory {
     /// Ring buffer of the most recent inter-arrival gaps, ms.
     gaps: Vec<f64>,
     next: usize,
-    /// Sorted copy of `gaps`, rebuilt lazily — `ttl_ms` runs once per
-    /// completion, so re-sorting an unchanged history would dominate the
-    /// policy's cost.
+    /// `gaps` as a sorted multiset, maintained incrementally: each arrival
+    /// does one O(log n) search plus an O(n) shift of ≤ [`GAP_HISTORY`]
+    /// floats, instead of the O(n log n) re-sort per completion the policy
+    /// originally paid. `total_cmp` is a total order, so the maintained
+    /// array is bit-identical to a full re-sort of `gaps` at any point.
     sorted: Vec<f64>,
-    dirty: bool,
 }
 
 impl FnHistory {
@@ -106,24 +107,27 @@ impl FnHistory {
         if let Some(last) = self.last_arrival_ms {
             let gap = now_ms - last;
             if self.gaps.len() < GAP_HISTORY {
+                if self.gaps.is_empty() {
+                    // One-time warmup allocation: full history for both
+                    // copies, so the steady-state path never reallocates.
+                    self.gaps.reserve(GAP_HISTORY);
+                    self.sorted.reserve(GAP_HISTORY);
+                }
                 self.gaps.push(gap);
             } else {
+                let old = self.gaps[self.next];
                 self.gaps[self.next] = gap;
                 self.next = (self.next + 1) % GAP_HISTORY;
+                let at = self.sorted.partition_point(|g| g.total_cmp(&old).is_lt());
+                self.sorted.remove(at);
             }
-            self.dirty = true;
+            let at = self.sorted.partition_point(|g| g.total_cmp(&gap).is_lt());
+            self.sorted.insert(at, gap);
         }
         self.last_arrival_ms = Some(now_ms);
     }
 
-    fn quantile(&mut self, q: f64) -> f64 {
-        if self.dirty || self.sorted.is_empty() {
-            self.sorted.clear();
-            self.sorted.extend_from_slice(&self.gaps);
-            self.sorted
-                .sort_by(|a, b| a.total_cmp(b));
-            self.dirty = false;
-        }
+    fn quantile(&self, q: f64) -> f64 {
         let idx = ((self.sorted.len() - 1) as f64 * q).ceil() as usize;
         self.sorted[idx]
     }
@@ -218,7 +222,7 @@ impl KeepAlivePolicy for AdaptiveKeepAlive {
     }
 
     fn ttl_ms(&mut self, fn_id: usize) -> f64 {
-        let h = &mut self.histories[fn_id];
+        let h = &self.histories[fn_id];
         let init = self.init_est_ms[fn_id];
         // Ski-rental window: pay at most ~one init's worth of idle before
         // giving an instance up (2-competitive without gap knowledge).

@@ -86,6 +86,7 @@ pub mod limits;
 pub mod region;
 pub mod scheduler;
 pub mod stats;
+pub mod sweep;
 
 /// Re-exports of the most used fleet items.
 pub mod prelude {
@@ -94,7 +95,7 @@ pub mod prelude {
     };
     pub use crate::fleet::{
         run_faulted_fleet, run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig,
-        FleetFunction,
+        FleetEvent, FleetFunction, FleetSim,
     };
     pub use crate::host::{Host, Placement};
     pub use crate::keepalive::{
@@ -109,12 +110,13 @@ pub mod prelude {
         LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst,
     };
     pub use crate::stats::{FaultSummary, FleetReport, RightsizingReport};
+    pub use crate::sweep::{default_threads, run_fleet_sweep, sweep, FleetJob};
 }
 
 pub use faults::{ExponentialBackoff, FaultPlan, FixedRetry, NoRetry, RetryKind, RetryPolicy};
 pub use fleet::{
     run_faulted_fleet, run_fleet, run_rightsized_fleet, Fleet, FleetArrival, FleetConfig,
-    FleetFunction,
+    FleetEvent, FleetFunction, FleetSim,
 };
 pub use host::{Host, Placement};
 pub use keepalive::{AdaptiveKeepAlive, FixedTtl, KeepAliveKind, KeepAlivePolicy, NoKeepAlive};
@@ -126,3 +128,4 @@ pub use region::{
 };
 pub use scheduler::{LeastLoaded, RandomFit, RoundRobin, Scheduler, SchedulerKind, WarmFirst};
 pub use stats::{FaultSummary, FleetReport, RightsizingReport};
+pub use sweep::{default_threads, run_fleet_sweep, sweep, FleetJob};

@@ -23,7 +23,7 @@
 //! adaptation policies (frozen vs fine-tuned) in the first place.
 
 use crate::faults::{FaultPlan, RetryKind};
-use crate::fleet::{Fleet, FleetConfig, FleetFunction};
+use crate::fleet::{Fleet, FleetConfig, FleetEvent, FleetFunction, FleetSim};
 use crate::keepalive::KeepAliveKind;
 use crate::scheduler::SchedulerKind;
 use crate::stats::FleetReport;
@@ -285,25 +285,25 @@ where
         })
         .collect();
 
-    let mut sims: Vec<Simulation<Fleet<S>>> = Vec::with_capacity(regions.len());
+    let mut sims: Vec<FleetSim<S>> = Vec::with_capacity(regions.len());
     for (i, (spec, fleet)) in regions.iter().zip(&mut fleets).enumerate() {
-        let mut sim: Simulation<Fleet<S>> = Simulation::new();
+        let mut sim: FleetSim<S> =
+            Simulation::with_queue(spec.config.queue, fleet.event_capacity_hint());
         fleet.prime(&mut sim);
         for shift in &spec.shifts {
-            let fn_id = shift.fn_id;
-            let profile = shift.profile.clone();
-            sim.schedule_at(SimTime::from_millis(shift.at_ms), move |_, f| {
-                f.shift_profile(fn_id, profile);
-            });
+            let slot = fleet.register_shift(shift.fn_id, shift.profile.clone());
+            sim.schedule_event_at(
+                SimTime::from_millis(shift.at_ms),
+                FleetEvent::ShiftProfile { slot },
+            );
         }
         if let Some((plan, _)) = &faults {
             for o in plan.outages.iter().filter(|o| o.region == i) {
-                sim.schedule_at(SimTime::from_millis(o.at_ms), |s, f: &mut Fleet<S>| {
-                    f.begin_outage(s);
-                });
-                sim.schedule_at(SimTime::from_millis(o.at_ms + o.down_ms), |s, f: &mut Fleet<S>| {
-                    f.end_outage(s);
-                });
+                sim.schedule_event_at(SimTime::from_millis(o.at_ms), FleetEvent::BeginOutage);
+                sim.schedule_event_at(
+                    SimTime::from_millis(o.at_ms + o.down_ms),
+                    FleetEvent::EndOutage,
+                );
             }
         }
         sims.push(sim);
@@ -358,9 +358,10 @@ where
                                 to_region: j as u32,
                             },
                         );
-                        sims[j].schedule_at(SimTime::from_millis(at_ms), move |s, f| {
-                            f.accept_failover(s, fn_id);
-                        });
+                        sims[j].schedule_event_at(
+                            SimTime::from_millis(at_ms),
+                            FleetEvent::AcceptFailover { fn_id: fn_id as u32 },
+                        );
                     }
                     None => fleets[i].shed_diverted(at_ms, fn_id),
                 }

@@ -31,12 +31,6 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
 }
 
-fn feasible_hosts(fn_id: usize, mem_mb: f64, hosts: &mut [Host], now_ms: f64) -> Vec<usize> {
-    (0..hosts.len())
-        .filter(|&i| hosts[i].feasible(fn_id, mem_mb, now_ms))
-        .collect()
-}
-
 /// Prefer any host holding a warm instance of the function; fall back to
 /// the least-loaded feasible host. This is the locality-preserving policy
 /// a FaaS control plane typically approximates with sticky routing.
@@ -138,8 +132,12 @@ impl Scheduler for RoundRobin {
 
 /// Place on a uniformly random feasible host — the locality-blind baseline
 /// the warm-first comparison is measured against.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RandomFit;
+#[derive(Debug, Clone, Default)]
+pub struct RandomFit {
+    /// Feasible-host scratch, reused across selections so the per-dispatch
+    /// path allocates at most once (at the fleet's host count) per run.
+    scratch: Vec<usize>,
+}
 
 impl Scheduler for RandomFit {
     fn select_host(
@@ -150,11 +148,17 @@ impl Scheduler for RandomFit {
         now_ms: f64,
         rng: &mut RngStream,
     ) -> Option<usize> {
-        let feasible = feasible_hosts(fn_id, mem_mb, hosts, now_ms);
-        if feasible.is_empty() {
+        self.scratch.clear();
+        self.scratch.reserve(hosts.len());
+        for (i, host) in hosts.iter_mut().enumerate() {
+            if host.feasible(fn_id, mem_mb, now_ms) {
+                self.scratch.push(i);
+            }
+        }
+        if self.scratch.is_empty() {
             None
         } else {
-            Some(*rng.choose(&feasible))
+            Some(*rng.choose(&self.scratch))
         }
     }
 
@@ -191,7 +195,7 @@ impl SchedulerKind {
             SchedulerKind::WarmFirst => Box::new(WarmFirst),
             SchedulerKind::LeastLoaded => Box::new(LeastLoaded),
             SchedulerKind::RoundRobin => Box::new(RoundRobin::default()),
-            SchedulerKind::Random => Box::new(RandomFit),
+            SchedulerKind::Random => Box::new(RandomFit::default()),
         }
     }
 }
@@ -257,7 +261,7 @@ mod tests {
         let mut hosts = fleet_of(2);
         // Fill host 0 completely with busy instances.
         let _ = hosts[0].try_begin(0, 1024.0, TTL, 0.0).unwrap();
-        let mut s = RandomFit;
+        let mut s = RandomFit::default();
         let mut r = rng();
         for _ in 0..20 {
             assert_eq!(s.select_host(0, 512.0, &mut hosts, 1.0, &mut r), Some(1));

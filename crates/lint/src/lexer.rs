@@ -422,9 +422,10 @@ fn read_number(cur: &mut Cursor) -> String {
     // is part of the number only when followed by a digit, so `1.max(2)`
     // lexes as `1` `.` `max` … and method-call rules keep working.
     while let Some(b) = cur.peek() {
-        if b.is_ascii_alphanumeric() || b == b'_' {
-            cur.bump();
-        } else if b == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+        if b.is_ascii_alphanumeric()
+            || b == b'_'
+            || (b == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()))
+        {
             cur.bump();
         } else if (b == b'+' || b == b'-')
             && matches!(cur.src.get(cur.pos.wrapping_sub(1)), Some(b'e') | Some(b'E'))

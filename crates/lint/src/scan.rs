@@ -165,12 +165,14 @@ impl<'a> Walker<'a> {
     fn step(&mut self, i: usize) {
         let t = &self.tokens[i];
         match t.kind {
-            TokenKind::Punct if t.text == "#" => {
-                // Outer attribute: `#[...]`. Inner attributes (`#![...]`)
-                // don't gate the next item.
-                if self.peek_is(i + 1, TokenKind::Open, "[") && self.attr_marks_test(i + 1) {
-                    self.pending_test = true;
-                }
+            // Outer attribute: `#[...]`. Inner attributes (`#![...]`)
+            // don't gate the next item.
+            TokenKind::Punct
+                if t.text == "#"
+                    && self.peek_is(i + 1, TokenKind::Open, "[")
+                    && self.attr_marks_test(i + 1) =>
+            {
+                self.pending_test = true;
             }
             TokenKind::Punct if t.text == ";" => {
                 // A semicolon ends a declaration (trait method, file module)
@@ -661,6 +663,6 @@ fn filter_report(
         }
     }
 
-    report.findings.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    report.findings.sort_by_key(|f| (f.line, f.col));
     report
 }

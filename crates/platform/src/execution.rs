@@ -133,7 +133,15 @@ pub fn execute(
     let pressure = laws.memory_pressure_factor(memory, peak_ws);
 
     let mut duration = 0.0;
-    let mut lag_samples: Vec<f64> = Vec::new();
+    // Event-loop lag samples: at most one per stage, so a small stack
+    // buffer covers every realistic profile and the per-invocation hot
+    // path stays allocation-free. Profiles beyond LAG_INLINE stages spill
+    // to the heap; iteration order (buffer then spill) matches the push
+    // order, so every accumulated float is bit-identical to the old Vec.
+    const LAG_INLINE: usize = 16;
+    let mut lag_buf = [0.0_f64; LAG_INLINE];
+    let mut lag_spill: Vec<f64> = Vec::new();
+    let mut lag_n = 0_usize;
     let mut total_churn_mb = 0.0;
 
     for stage in profile.stages() {
@@ -208,7 +216,13 @@ pub fn execute(
 
         // A synchronous CPU stage blocks the event loop for its wall time.
         if cpu_wall_ms > 0.0 {
-            lag_samples.push(cpu_wall_ms / stage.parallelism.max(1.0));
+            let lag = cpu_wall_ms / stage.parallelism.max(1.0);
+            if lag_n < LAG_INLINE {
+                lag_buf[lag_n] = lag;
+            } else {
+                lag_spill.push(lag);
+            }
+            lag_n += 1;
         }
         total_churn_mb += stage.alloc_churn_mb;
     }
@@ -248,14 +262,17 @@ pub fn execute(
     usage.pkts_tx = (usage.net_tx_kb * 1024.0 / MTU_BYTES).ceil() + 4.0;
 
     // --- Event-loop lag ---------------------------------------------------
-    if lag_samples.is_empty() {
-        lag_samples.push(0.02 + 0.03 * rng.next_f64());
+    if lag_n == 0 {
+        // lint: allow(panic003) reason="lag_buf is a fixed [f64; LAG_INLINE] array with LAG_INLINE = 16, so index 0 always exists"
+        lag_buf[0] = 0.02 + 0.03 * rng.next_f64();
+        lag_n = 1;
     }
-    let n = lag_samples.len() as f64;
-    let mean = lag_samples.iter().sum::<f64>() / n;
-    let var = lag_samples.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
-    usage.loop_lag_min_ms = lag_samples.iter().cloned().fold(f64::INFINITY, f64::min);
-    usage.loop_lag_max_ms = lag_samples.iter().cloned().fold(0.0, f64::max);
+    let lag_samples = || lag_buf[..lag_n.min(LAG_INLINE)].iter().chain(lag_spill.iter());
+    let n = lag_n as f64;
+    let mean = lag_samples().sum::<f64>() / n;
+    let var = lag_samples().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
+    usage.loop_lag_min_ms = lag_samples().cloned().fold(f64::INFINITY, f64::min);
+    usage.loop_lag_max_ms = lag_samples().cloned().fold(0.0, f64::max);
     usage.loop_lag_mean_ms = mean;
     usage.loop_lag_std_ms = var.sqrt();
 

@@ -117,18 +117,47 @@ impl Platform {
         cold: bool,
         rng: &mut RngStream,
     ) -> InvocationRecord {
-        let mut outcome = self.execute(config.profile(), config.memory(), rng);
+        let mut record = self.invoke_unnamed(config, cold, rng);
+        record.function = config.name().to_string();
+        record
+    }
+
+    /// [`Platform::invoke`] with the record's `function` name left empty.
+    /// The fleet's dispatch loop already knows which function it invoked,
+    /// so the hot path skips the per-invocation name allocation; every
+    /// draw, duration, and billing figure is identical to `invoke`.
+    pub fn invoke_unnamed(
+        &self,
+        config: &FunctionConfig,
+        cold: bool,
+        rng: &mut RngStream,
+    ) -> InvocationRecord {
+        self.invoke_unnamed_at(config, config.memory(), cold, rng)
+    }
+
+    /// [`Platform::invoke_unnamed`] running at `memory` instead of the
+    /// config's deployed size — equivalent to invoking
+    /// `config.with_memory(memory)` but without cloning the profile, for
+    /// hot paths that redirect single invocations (shadow routing).
+    pub fn invoke_unnamed_at(
+        &self,
+        config: &FunctionConfig,
+        memory: MemorySize,
+        cold: bool,
+        rng: &mut RngStream,
+    ) -> InvocationRecord {
+        let mut outcome = self.execute(config.profile(), memory, rng);
         if cold {
             outcome.cold_start = true;
             outcome.init_ms =
                 self.cold_start
-                    .sample_init_ms(config.profile(), config.memory(), &self.laws, rng);
+                    .sample_init_ms(config.profile(), memory, &self.laws, rng);
         }
         let billed_ms = self.pricing.billed_ms(outcome.duration_ms);
-        let cost_usd = self.pricing.cost_usd(outcome.duration_ms, config.memory());
+        let cost_usd = self.pricing.cost_usd(outcome.duration_ms, memory);
         InvocationRecord {
-            function: config.name().to_string(),
-            memory: config.memory(),
+            function: String::new(),
+            memory,
             duration_ms: outcome.duration_ms,
             billed_ms,
             cost_usd,

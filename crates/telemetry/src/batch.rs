@@ -1,0 +1,313 @@
+//! Buffered telemetry ingest: batch per-invocation pushes, flush in order.
+//!
+//! The fleet's hot loop touches telemetry twice per completion: it bumps
+//! half a dozen [`FleetCounters`] fields and pushes one
+//! [`InvocationSample`] into the sizing service's streaming window. Both
+//! are cheap individually, but they are scattered read-modify-writes into
+//! large structs on every event. The batchers here buffer those
+//! contributions in small contiguous arrays and apply them in bulk.
+//!
+//! Bit-identity is the contract, exactly as for
+//! [`StreamingWindow`](crate::window::StreamingWindow): a flush replays
+//! the buffered records **in push order**, so every floating-point sum
+//! sees the same addition sequence as the unbatched per-event path and
+//! lands on the same bits. The batchers never reorder, merge, or
+//! pre-reduce records — reduction happens only at flush time, against the
+//! live accumulator, in arrival order. Anything order-insensitive only by
+//! mathematical (not floating-point) argument is out of scope by design.
+//!
+//! Flush points are the consumer's responsibility: flush before any read
+//! of the target accumulator (invariant checks, report building), and the
+//! result is indistinguishable from never having batched.
+
+use crate::fleet::FleetCounters;
+use crate::monitor::InvocationSample;
+use crate::window::StreamingWindow;
+
+/// One completion's contribution to [`FleetCounters`] — the per-event
+/// delta a fleet run applies when an invocation finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompletionTally {
+    /// The attempt number that succeeded (1 for a first-try completion).
+    pub attempt: usize,
+    /// End-to-end latency (init + execution), ms.
+    pub latency_ms: f64,
+    /// Billed cost, USD.
+    pub cost_usd: f64,
+    /// Execution memory-time, MB·ms.
+    pub exec_mb_ms: f64,
+}
+
+/// Buffered [`FleetCounters`] completion ingest.
+///
+/// Completions accumulate in a contiguous buffer;
+/// [`TallyBatch::flush_into`] drains them into the counters in push
+/// order, so the `f64` sums are bit-identical to updating the counters
+/// directly on every completion.
+///
+/// Each buffered tally also represents one request that has finished but
+/// is still counted in flight: a flush moves `len()` requests from
+/// `in_flight` to `completed` together, so the conservation invariant
+/// ([`FleetCounters::is_conserved`]) holds exactly at every flush
+/// boundary.
+///
+/// # Examples
+///
+/// ```
+/// use sizeless_telemetry::{CompletionTally, FleetCounters, TallyBatch};
+///
+/// let mut direct = FleetCounters { submitted: 2, in_flight: 2, ..Default::default() };
+/// let mut batched = direct;
+/// let mut batch = TallyBatch::new();
+/// for i in 1..=2u32 {
+///     let t = CompletionTally { attempt: 1, latency_ms: 0.1 * f64::from(i), ..Default::default() };
+///     direct.completed += 1;
+///     direct.in_flight -= 1;
+///     direct.sum_attempts_completed += t.attempt;
+///     direct.sum_latency_ms += t.latency_ms;
+///     batch.push(t);
+/// }
+/// batch.flush_into(&mut batched);
+/// assert_eq!(direct, batched);
+/// assert_eq!(direct.sum_latency_ms.to_bits(), batched.sum_latency_ms.to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TallyBatch {
+    buf: Vec<CompletionTally>,
+}
+
+impl TallyBatch {
+    /// Default flush threshold: small enough that the buffer stays in
+    /// cache, large enough to amortize the flush loop.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// An empty batch with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty batch that signals a flush after `capacity` pushes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TallyBatch {
+            buf: Vec::with_capacity(capacity.max(1)),
+        }
+    }
+
+    /// Buffers one completion. Returns `true` when the batch has reached
+    /// its capacity and should be flushed.
+    pub fn push(&mut self, tally: CompletionTally) -> bool {
+        self.buf.push(tally);
+        self.buf.len() == self.buf.capacity()
+    }
+
+    /// Buffered completions not yet flushed.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the batch holds no pending completions.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drains the buffer into `counters`, replaying every tally in push
+    /// order: `completed`, `in_flight`, `sum_attempts_completed`, and the
+    /// `f64` sums see exactly the sequence of updates the unbatched path
+    /// would have applied.
+    pub fn flush_into(&mut self, counters: &mut FleetCounters) {
+        for t in self.buf.drain(..) {
+            counters.exec_mb_ms += t.exec_mb_ms;
+            counters.in_flight -= 1;
+            counters.completed += 1;
+            counters.sum_attempts_completed += t.attempt;
+            counters.sum_latency_ms += t.latency_ms;
+            counters.sum_cost_usd += t.cost_usd;
+        }
+    }
+}
+
+/// Buffered [`StreamingWindow`] ingest.
+///
+/// Samples accumulate in a contiguous buffer and land in the window in
+/// batches, in push order — the window's retained sequence (and therefore
+/// its bit-exact [`StreamingWindow::aggregate`]) is identical to pushing
+/// each sample directly.
+///
+/// The intended protocol mirrors the sizing service's window discipline:
+/// buffer until `window.len() + batch.len()` reaches the decision
+/// boundary, flush, decide. Flushing earlier is always safe.
+#[derive(Debug, Clone, Default)]
+pub struct SampleBatch {
+    buf: Vec<InvocationSample>,
+}
+
+impl SampleBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        SampleBatch { buf: Vec::new() }
+    }
+
+    /// Buffers one sample.
+    pub fn push(&mut self, sample: InvocationSample) {
+        self.buf.push(sample);
+    }
+
+    /// Buffered samples not yet flushed.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the batch holds no pending samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drains the buffer into `window` in push order.
+    pub fn flush_into(&mut self, window: &mut StreamingWindow) {
+        for s in self.buf.drain(..) {
+            window.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::METRIC_COUNT;
+    use proptest::prelude::*;
+
+    fn apply_direct(c: &mut FleetCounters, t: &CompletionTally) {
+        c.exec_mb_ms += t.exec_mb_ms;
+        c.in_flight -= 1;
+        c.completed += 1;
+        c.sum_attempts_completed += t.attempt;
+        c.sum_latency_ms += t.latency_ms;
+        c.sum_cost_usd += t.cost_usd;
+    }
+
+    fn bits_equal(a: &FleetCounters, b: &FleetCounters) -> bool {
+        a.completed == b.completed
+            && a.in_flight == b.in_flight
+            && a.sum_attempts_completed == b.sum_attempts_completed
+            && a.sum_latency_ms.to_bits() == b.sum_latency_ms.to_bits()
+            && a.sum_cost_usd.to_bits() == b.sum_cost_usd.to_bits()
+            && a.exec_mb_ms.to_bits() == b.exec_mb_ms.to_bits()
+    }
+
+    #[test]
+    fn capacity_signals_flush() {
+        let mut batch = TallyBatch::with_capacity(3);
+        assert!(!batch.push(CompletionTally::default()));
+        assert!(!batch.push(CompletionTally::default()));
+        assert!(batch.push(CompletionTally::default()));
+        assert_eq!(batch.len(), 3);
+        let mut c = FleetCounters {
+            submitted: 3,
+            in_flight: 3,
+            ..Default::default()
+        };
+        batch.flush_into(&mut c);
+        assert!(batch.is_empty());
+        assert_eq!(c.completed, 3);
+        assert_eq!(c.in_flight, 0);
+        assert!(c.is_conserved());
+    }
+
+    #[test]
+    fn flush_preserves_conservation() {
+        // A flush moves requests from in_flight to completed atomically
+        // with respect to the conservation ledger.
+        let mut c = FleetCounters {
+            submitted: 10,
+            in_flight: 10,
+            ..Default::default()
+        };
+        let mut batch = TallyBatch::new();
+        for _ in 0..4 {
+            batch.push(CompletionTally {
+                attempt: 1,
+                ..Default::default()
+            });
+        }
+        batch.flush_into(&mut c);
+        assert!(c.is_conserved());
+        assert_eq!(c.completed, 4);
+        assert_eq!(c.in_flight, 6);
+    }
+
+    proptest! {
+        /// Batched counter ingest is bit-identical to the direct path for
+        /// any tally sequence and any interleaving of flushes.
+        #[test]
+        fn tally_batch_bit_identical(
+            tallies in proptest::collection::vec(
+                (1_usize..4, 0.0_f64..1e4, 0.0_f64..0.01, 0.0_f64..1e6),
+                0..200,
+            ),
+            capacity in 1_usize..17,
+        ) {
+            let tallies: Vec<CompletionTally> = tallies
+                .into_iter()
+                .map(|(attempt, latency_ms, cost_usd, exec_mb_ms)| CompletionTally {
+                    attempt, latency_ms, cost_usd, exec_mb_ms,
+                })
+                .collect();
+            let start = FleetCounters {
+                submitted: tallies.len(),
+                in_flight: tallies.len(),
+                ..Default::default()
+            };
+            let mut direct = start;
+            for t in &tallies {
+                apply_direct(&mut direct, t);
+            }
+            let mut batched = start;
+            let mut batch = TallyBatch::with_capacity(capacity);
+            for t in &tallies {
+                if batch.push(*t) {
+                    batch.flush_into(&mut batched);
+                }
+            }
+            batch.flush_into(&mut batched);
+            prop_assert!(bits_equal(&direct, &batched));
+            prop_assert!(batched.is_conserved());
+        }
+
+        /// Batched window ingest retains the same samples in the same
+        /// order as direct pushes, for any flush interleaving, and its
+        /// aggregate is bit-identical.
+        #[test]
+        fn sample_batch_bit_identical(
+            execs in proptest::collection::vec(0.1_f64..1e3, 1..40),
+            capacity in 1_usize..12,
+            flush_every in 1_usize..8,
+        ) {
+            let samples: Vec<InvocationSample> = execs
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| InvocationSample {
+                    at_ms: i as f64,
+                    values: [e; METRIC_COUNT],
+                })
+                .collect();
+            let mut direct = StreamingWindow::new(capacity);
+            for s in &samples {
+                direct.push(s.clone());
+            }
+            let mut batched = StreamingWindow::new(capacity);
+            let mut batch = SampleBatch::new();
+            for (i, s) in samples.iter().enumerate() {
+                batch.push(s.clone());
+                if (i + 1) % flush_every == 0 {
+                    batch.flush_into(&mut batched);
+                }
+            }
+            batch.flush_into(&mut batched);
+            prop_assert_eq!(direct.len(), batched.len());
+            prop_assert_eq!(direct.evicted(), batched.evicted());
+            let a = direct.aggregate();
+            let b = batched.aggregate();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

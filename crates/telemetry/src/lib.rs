@@ -26,8 +26,12 @@
 //! * [`window`] — [`StreamingWindow`]: the bounded,
 //!   incrementally-maintained monitoring window of the online sizing
 //!   service, bit-identical in aggregation to the batch [`MetricVector`].
+//! * [`batch`] — buffered ingest ([`TallyBatch`]/[`SampleBatch`]): hot
+//!   paths buffer per-invocation counter and window pushes and flush them
+//!   in batches, bit-identically to the unbatched path.
 
 pub mod aggregate;
+pub mod batch;
 pub mod fleet;
 pub mod metric;
 pub mod monitor;
@@ -35,6 +39,7 @@ pub mod stability;
 pub mod window;
 
 pub use aggregate::{MetricAggregate, MetricVector};
+pub use batch::{CompletionTally, SampleBatch, TallyBatch};
 pub use fleet::{
     FleetCounters, FleetMetrics, RightsizingCounters, RightsizingMetrics, SimRunStats,
 };
